@@ -1,0 +1,124 @@
+package nvdclean
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"nvdclean/internal/crawler"
+	"nvdclean/internal/cvss"
+	"nvdclean/internal/cwe"
+	"nvdclean/internal/predict"
+	"nvdclean/internal/suggest"
+)
+
+// Advisor is the reporter-assistance interface of §6: name suggestion
+// against the consistent database produced by a Clean run.
+type Advisor = suggest.Advisor
+
+// Suggestion is one ranked candidate name.
+type Suggestion = suggest.Suggestion
+
+// Advisor builds the §6 reporter-assistance tool over the cleaned
+// snapshot and the consolidation maps, so inconsistent spellings typed
+// by reporters resolve to consistent names.
+func (r *Result) Advisor() *Advisor {
+	return suggest.NewAdvisor(r.Cleaned, r.VendorMap, r.ProductMap)
+}
+
+// EntryAssessment is the pipeline's §6 "incremental reporting" output
+// for one new or modified CVE: everything an NVD analyst would want
+// before accepting the entry.
+type EntryAssessment struct {
+	// EstimatedDisclosure is the minimum reference-page date (or the
+	// entry's own publication date when no reference yields one).
+	EstimatedDisclosure time.Time
+	// LagDays is the publication lag implied by the estimate.
+	LagDays int
+	// VendorSuggestions maps each vendor name in the entry's CPEs to
+	// ranked consistent alternatives (empty for exact canonical names).
+	VendorSuggestions map[string][]Suggestion
+	// ExtractedCWEs are concrete weakness types found in the entry's
+	// descriptions (§4.4 regex).
+	ExtractedCWEs []cwe.ID
+	// PredictedV3 is the backported v3 base score (present when the
+	// Clean run trained an engine and the entry has a v2 vector but no
+	// v3 label).
+	PredictedV3 float64
+	// PredictedSeverity is the corresponding band.
+	PredictedSeverity cvss.Severity
+	// HasPrediction reports whether PredictedV3 is meaningful.
+	HasPrediction bool
+}
+
+// AssessEntry runs the §6 analyst workflow on one entry using the
+// artifacts of a prior Clean run: estimate its disclosure date from its
+// references (transport may be nil to skip crawling), suggest
+// consistent vendor names, extract description CWEs, and predict a v3
+// severity. The entry is not modified.
+func (r *Result) AssessEntry(ctx context.Context, e *Entry, transport http.RoundTripper) (*EntryAssessment, error) {
+	if e == nil {
+		return nil, fmt.Errorf("nvdclean: nil entry")
+	}
+	out := &EntryAssessment{
+		EstimatedDisclosure: e.Published,
+		VendorSuggestions:   make(map[string][]Suggestion),
+	}
+
+	if transport != nil && len(e.References) > 0 {
+		c, err := crawler.New(crawler.Config{Transport: transport})
+		if err != nil {
+			return nil, fmt.Errorf("nvdclean: building crawler: %w", err)
+		}
+		est, _ := c.Estimate(ctx, e)
+		out.EstimatedDisclosure = est
+		if lag := int(e.Published.Sub(est).Hours() / 24); lag > 0 {
+			out.LagDays = lag
+		}
+	}
+
+	advisor := r.Advisor()
+	for _, vendor := range e.Vendors() {
+		sugs := advisor.SuggestVendor(vendor, 3)
+		// Exact canonical names need no advice.
+		if len(sugs) > 0 && !(sugs[0].Reason == "exact" && sugs[0].Name == vendor) {
+			out.VendorSuggestions[vendor] = sugs
+		}
+	}
+
+	out.ExtractedCWEs = cwe.NewRegistry().Validate(cwe.Extract(e.AllDescriptionText()))
+
+	if r.Engine != nil && e.V2 != nil && e.V3 == nil {
+		id := cwe.Unassigned
+		if len(out.ExtractedCWEs) > 0 {
+			id = out.ExtractedCWEs[0]
+		} else {
+			for _, c := range e.CWEs {
+				if !c.IsMeta() {
+					id = c
+					break
+				}
+			}
+		}
+		score, err := r.Engine.Predict(*e.V2, id)
+		if err != nil {
+			return nil, fmt.Errorf("nvdclean: predicting severity: %w", err)
+		}
+		out.PredictedV3 = score
+		out.PredictedSeverity = cvss.SeverityV3(score)
+		out.HasPrediction = true
+	}
+	return out, nil
+}
+
+// ModelKind re-exports the §4.3 algorithm identifiers for Options.
+type ModelKind = predict.ModelKind
+
+// The four Table 5 algorithms.
+const (
+	ModelLR  = predict.ModelLR
+	ModelSVR = predict.ModelSVR
+	ModelCNN = predict.ModelCNN
+	ModelDNN = predict.ModelDNN
+)

@@ -1,0 +1,212 @@
+// Benchmark harness: one benchmark per table and figure of the paper
+// (see DESIGN.md's experiment index), timing the regeneration of each
+// result from a shared pipeline run, plus the design-choice ablations.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The shared fixture generates a small-scale snapshot (3K CVEs — the
+// same shape as the paper's 107.2K, proportionally scaled), runs the
+// full cleaning pipeline once (crawl, naming, CWE fix, model zoo
+// training), and then each benchmark times its experiment's
+// computation. BenchmarkPipeline times the pipeline itself end to end.
+package nvdclean_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"nvdclean"
+	"nvdclean/internal/experiments"
+	"nvdclean/internal/gen"
+	"nvdclean/internal/predict"
+)
+
+var (
+	benchSuite *experiments.Suite
+	benchOnce  sync.Once
+	benchErr   error
+)
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite, benchErr = experiments.NewSuite(context.Background(), experiments.Options{
+			Scale:       gen.SmallConfig(),
+			ModelConfig: predict.ModelConfig{Epochs: 25, Compact: true, Seed: 1},
+			Concurrency: 16,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSuite
+}
+
+// benchExperiment times one experiment's regeneration.
+func benchExperiment(b *testing.B, id string) {
+	s := suite(b)
+	var render func() (string, error)
+	for _, exp := range s.All() {
+		if exp.ID == id {
+			render = exp.Render
+			break
+		}
+	}
+	if render == nil {
+		b.Fatalf("experiment %s not found", id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := render(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline times the full Clean run (crawl + naming + CWE fix
+// + LR training) on a tiny snapshot.
+func BenchmarkPipeline(b *testing.B) {
+	snap, truth, err := nvdclean.GenerateSnapshot(gen.TinyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := nvdclean.NewWebCorpus(snap, truth.Disclosure)
+	opts := nvdclean.Options{
+		Transport:   corpus.Transport(),
+		Concurrency: 16,
+		Models:      []predict.ModelKind{predict.ModelLR},
+		ModelConfig: predict.ModelConfig{Seed: 1},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nvdclean.Clean(context.Background(), snap, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure and table benchmarks, in paper order.
+
+func BenchmarkFig1LagCDF(b *testing.B)           { benchExperiment(b, "fig1") }
+func BenchmarkTable2VendorPatterns(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3CrossDB(b *testing.B)        { benchExperiment(b, "table3") }
+func BenchmarkTable4Transition(b *testing.B)     { benchExperiment(b, "table4") }
+func BenchmarkTable5ModelErrors(b *testing.B)    { benchExperiment(b, "table5") }
+func BenchmarkTable6Backport(b *testing.B)       { benchExperiment(b, "table6") }
+func BenchmarkTable7Accuracy(b *testing.B)       { benchExperiment(b, "table7") }
+func BenchmarkTable8TopDates(b *testing.B)       { benchExperiment(b, "table8") }
+func BenchmarkFig2DayOfWeek(b *testing.B)        { benchExperiment(b, "fig2") }
+func BenchmarkTable9SeverityDist(b *testing.B)   { benchExperiment(b, "table9") }
+func BenchmarkFig3YearlySeverity(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkTable10TopTypes(b *testing.B)      { benchExperiment(b, "table10") }
+func BenchmarkTable11TopVendors(b *testing.B)    { benchExperiment(b, "table11") }
+func BenchmarkTable12Mislabeled(b *testing.B)    { benchExperiment(b, "table12") }
+func BenchmarkFig4LagBySeverity(b *testing.B)    { benchExperiment(b, "fig4") }
+func BenchmarkFig5PCA(b *testing.B)              { benchExperiment(b, "fig5") }
+func BenchmarkTable13GroundTruth(b *testing.B)   { benchExperiment(b, "table13") }
+func BenchmarkTable14TestGT(b *testing.B)        { benchExperiment(b, "table14") }
+func BenchmarkTable15TestPred(b *testing.B)      { benchExperiment(b, "table15") }
+func BenchmarkTable16CaseStudies(b *testing.B)   { benchExperiment(b, "table16") }
+func BenchmarkCWECorrectionSummary(b *testing.B) { benchExperiment(b, "cwefix") }
+func BenchmarkFeatureImportance(b *testing.B)    { benchExperiment(b, "importance") }
+
+// Ablation benchmarks (DESIGN.md §5).
+
+func BenchmarkAblationTopKDomains(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationTopK(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLCSThreshold(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationLCS(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDongBaseline(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationDong(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationNaiveSeverity(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationNaiveSeverity(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCWEKNN times training + evaluating the §4.4 description→CWE
+// classifier (the "151 classes at 65.6%" experiment).
+func BenchmarkCWEKNN(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := predict.TrainTypeClassifier(s.Snap, predict.TypeClassifierConfig{Dim: 256, Seed: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelTraining times one full Table 5 training run (LR only,
+// to keep -bench=. tractable; pass -bench=ModelTrainingFull for the
+// whole zoo).
+func BenchmarkModelTraining(b *testing.B) {
+	s := suite(b)
+	ds, err := predict.BuildDataset(s.Result.Cleaned, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := predict.Train(ds, []predict.ModelKind{predict.ModelLR}, predict.ModelConfig{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelTrainingFullZoo(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full zoo training is expensive")
+	}
+	s := suite(b)
+	ds, err := predict.BuildDataset(s.Result.Cleaned, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := predict.ModelConfig{Epochs: 25, Compact: true, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := predict.Train(ds, predict.AllModels(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: generate a paper-shaped NVD snapshot, run the complete
+// cleaning pipeline (disclosure dates, name consolidation, CWE fixes,
+// v3 backporting), and print what changed.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"nvdclean"
+	"nvdclean/internal/predict"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Get a snapshot. GenerateSnapshot gives a synthetic NVD with the
+	// paper's defects injected; for real data use nvdclean.LoadFeed.
+	snap, truth, err := nvdclean.GenerateSnapshot(nvdclean.SmallScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot: %d CVEs, %d vendors, %d products\n",
+		snap.Len(), snap.DistinctVendors(), snap.DistinctProducts())
+
+	// 2. Build the simulated reference web (live crawling would use
+	// http.DefaultTransport instead).
+	corpus := nvdclean.NewWebCorpus(snap, truth.Disclosure)
+
+	// 3. Clean.
+	res, err := nvdclean.Clean(context.Background(), snap, nvdclean.Options{
+		Transport:   corpus.Transport(),
+		Models:      []predict.ModelKind{predict.ModelLR, predict.ModelDNN},
+		ModelConfig: predict.ModelConfig{Epochs: 25, Compact: true, Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Inspect the corrections.
+	fmt.Printf("\ndisclosure dates estimated: %d (crawled %d pages)\n",
+		len(res.EstimatedDisclosure), res.CrawlStats.Fetched)
+	var improved int
+	for id, lag := range res.LagDays {
+		_ = id
+		if lag > 0 {
+			improved++
+		}
+	}
+	fmt.Printf("publication dates improved: %d CVEs\n", improved)
+	fmt.Printf("vendor names consolidated:  %d -> %d canonical\n",
+		res.VendorMap.Len(), len(res.VendorMap.Targets()))
+	fmt.Printf("product names consolidated: %d\n", res.ProductMap.Len())
+	fmt.Printf("CWE fields corrected:       %d\n", res.CWECorrection.Corrected)
+	best := res.Engine.Best()
+	fmt.Printf("v3 scores backported:       %d (best model %s, %.1f%% accurate)\n",
+		len(res.Backport.Scores), best, 100*res.Engine.Evaluation(best).Accuracy)
+
+	// 5. Score the cleaning against the generator's ground truth —
+	// something only a synthetic snapshot allows.
+	var dateHits, dateTotal int
+	for id, est := range res.EstimatedDisclosure {
+		trueDate := truth.Disclosure[id]
+		if snap.ByID(id).Published.After(trueDate) {
+			dateTotal++
+			if est.Equal(trueDate) {
+				dateHits++
+			}
+		}
+	}
+	fmt.Printf("\nground-truth check: %d/%d lagged disclosure dates recovered exactly\n",
+		dateHits, dateTotal)
+}

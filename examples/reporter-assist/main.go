@@ -1,0 +1,88 @@
+// Reporter assistance (§6): after one Clean run builds the consistent
+// name database, an analyst-facing advisor checks incoming
+// vulnerability reports — suggesting canonical vendor/product names for
+// inconsistent spellings, estimating the disclosure date from the
+// report's references, extracting CWE types from the description, and
+// predicting a modern v3 severity. This is the workflow the paper
+// proposes NVD adopt for new submissions.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"nvdclean"
+	"nvdclean/internal/cpe"
+	"nvdclean/internal/cvss"
+	"nvdclean/internal/predict"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One-time setup: clean the database.
+	snap, truth, err := nvdclean.GenerateSnapshot(nvdclean.SmallScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus := nvdclean.NewWebCorpus(snap, truth.Disclosure)
+	res, err := nvdclean.Clean(context.Background(), snap, nvdclean.Options{
+		Transport:   corpus.Transport(),
+		Models:      []nvdclean.ModelKind{nvdclean.ModelLR, nvdclean.ModelDNN},
+		ModelConfig: predict.ModelConfig{Epochs: 25, Compact: true, Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consistent database ready: %d vendors, %d name corrections known\n\n",
+		res.Cleaned.DistinctVendors(), res.VendorMap.Len())
+
+	// Interactive-style queries a reporter might type.
+	advisor := res.Advisor()
+	for _, query := range []string{"microsft", "oracle", "linux!"} {
+		fmt.Printf("reporter types vendor %q:\n", query)
+		sugs := advisor.SuggestVendor(query, 3)
+		if len(sugs) == 0 {
+			fmt.Println("  (no match — possibly a new vendor)")
+			continue
+		}
+		for _, s := range sugs {
+			fmt.Printf("  -> %-24s score %.2f (%s, %d CVEs)\n", s.Name, s.Score, s.Reason, s.CVEs)
+		}
+	}
+
+	// A full incoming report, assessed end to end.
+	v2, err := cvss.ParseV2("AV:N/AC:L/Au:N/C:P/I:P/A:P")
+	if err != nil {
+		log.Fatal(err)
+	}
+	incoming := &nvdclean.Entry{
+		ID:        "CVE-2018-99999",
+		Published: time.Date(2018, 5, 10, 0, 0, 0, 0, time.UTC),
+		V2:        &v2,
+		CPEs: []cpe.Name{
+			cpe.NewName(cpe.PartApplication, "microsft", "sharepoint", "2016"),
+		},
+		Descriptions: []nvdclean.Description{{
+			Value: "SQL injection (CWE-89) in the list view allows remote attackers to run arbitrary SQL.",
+		}},
+	}
+	assessment, err := res.AssessEntry(context.Background(), incoming, corpus.Transport())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nassessing incoming report %s:\n", incoming.ID)
+	fmt.Printf("  estimated disclosure: %s (lag %d days)\n",
+		assessment.EstimatedDisclosure.Format("2006-01-02"), assessment.LagDays)
+	for vendor, sugs := range assessment.VendorSuggestions {
+		fmt.Printf("  vendor %q looks inconsistent; suggest %q (%s)\n",
+			vendor, sugs[0].Name, sugs[0].Reason)
+	}
+	fmt.Printf("  CWE types in description: %v\n", assessment.ExtractedCWEs)
+	if assessment.HasPrediction {
+		fmt.Printf("  predicted v3 severity: %.1f (%s)\n",
+			assessment.PredictedV3, assessment.PredictedSeverity)
+	}
+}

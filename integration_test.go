@@ -1,0 +1,87 @@
+package nvdclean
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"nvdclean/internal/predict"
+)
+
+// TestCleanedFeedRoundTrip exercises the full product path: generate →
+// clean → serialize the rectified feed → reload → verify the
+// corrections survived serialization.
+func TestCleanedFeedRoundTrip(t *testing.T) {
+	snap, truth, err := GenerateSnapshot(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := NewWebCorpus(snap, truth.Disclosure)
+	res, err := Clean(context.Background(), snap, Options{
+		Transport:   corpus.Transport(),
+		Concurrency: 16,
+		Models:      []predict.ModelKind{predict.ModelLR},
+		ModelConfig: predict.ModelConfig{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFeed(&buf, res.Cleaned); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadFeed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Len() != res.Cleaned.Len() {
+		t.Fatalf("reloaded %d entries, want %d", reloaded.Len(), res.Cleaned.Len())
+	}
+	// Consolidated names and corrected CWE fields survive the feed
+	// format.
+	for i, e := range reloaded.Entries {
+		want := res.Cleaned.Entries[i]
+		if e.ID != want.ID {
+			t.Fatalf("entry %d: id %s != %s", i, e.ID, want.ID)
+		}
+		if len(e.CPEs) != len(want.CPEs) {
+			t.Fatalf("%s: CPE count changed", e.ID)
+		}
+		for j := range e.CPEs {
+			if e.CPEs[j].Vendor != want.CPEs[j].Vendor || e.CPEs[j].Product != want.CPEs[j].Product {
+				t.Fatalf("%s: CPE %d changed: %v != %v", e.ID, j, e.CPEs[j], want.CPEs[j])
+			}
+		}
+		if len(e.CWEs) != len(want.CWEs) {
+			t.Fatalf("%s: CWE count changed", e.ID)
+		}
+	}
+}
+
+// TestCleanIdempotent verifies a second Clean over an already-cleaned
+// snapshot is (nearly) a no-op: no new vendor rewrites from injected
+// aliases, no new CWE corrections.
+func TestCleanIdempotent(t *testing.T) {
+	snap, _, err := GenerateSnapshot(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Clean(context.Background(), snap, Options{SkipSeverity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Clean(context.Background(), first.Cleaned, Options{SkipSeverity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CWECorrection.Corrected != 0 {
+		t.Errorf("second pass corrected %d CWE fields, want 0", second.CWECorrection.Corrected)
+	}
+	// The second vendor map should be far smaller than the first (only
+	// residual heuristic noise may remain).
+	if second.VendorMap.Len() > first.VendorMap.Len()/3 {
+		t.Errorf("second-pass vendor map has %d entries vs first %d — not converging",
+			second.VendorMap.Len(), first.VendorMap.Len())
+	}
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import "time"
+
+// §5.1 examines whether top disclosure dates cluster around US holidays:
+// "several of these top dates are within a couple of weeks after a US
+// holiday, such as Independence Day (7/9/18, 7/5/17, ...), Labor Day
+// (9/9/14), and New Year's Day (1/17/17 and 1/19/16)". This file
+// implements the US-holiday calendar and the proximity measure behind
+// that observation.
+
+// usHolidays returns the federal holidays observed in year that the
+// paper references (fixed-date plus the floating Labor Day and
+// Thanksgiving).
+func usHolidays(year int) []time.Time {
+	return []time.Time{
+		time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC),       // New Year's Day
+		time.Date(year, 7, 4, 0, 0, 0, 0, time.UTC),       // Independence Day
+		nthWeekday(year, time.September, time.Monday, 1),  // Labor Day
+		nthWeekday(year, time.November, time.Thursday, 4), // Thanksgiving
+		time.Date(year, 12, 25, 0, 0, 0, 0, time.UTC),     // Christmas
+	}
+}
+
+// nthWeekday returns the n-th weekday of a month (n starting at 1).
+func nthWeekday(year int, month time.Month, day time.Weekday, n int) time.Time {
+	t := time.Date(year, month, 1, 0, 0, 0, 0, time.UTC)
+	offset := (int(day) - int(t.Weekday()) + 7) % 7
+	return t.AddDate(0, 0, offset+(n-1)*7)
+}
+
+// DaysAfterHoliday returns the number of days since the most recent US
+// holiday at or before date (spanning year boundaries for early
+// January).
+func DaysAfterHoliday(date time.Time) int {
+	date = time.Date(date.Year(), date.Month(), date.Day(), 0, 0, 0, 0, time.UTC)
+	best := -1
+	for _, h := range append(usHolidays(date.Year()), usHolidays(date.Year()-1)...) {
+		if h.After(date) {
+			continue
+		}
+		d := int(date.Sub(h).Hours() / 24)
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// HolidayProximity classifies the paper's Table 8 observation: how many
+// of the given top dates fall within `within` days *after* a US holiday
+// versus in the `before` days leading up to one (pre-holiday disclosure
+// would hint at burying bad news; the paper finds none).
+func HolidayProximity(dates []DateCount, within int) (after, preHoliday int) {
+	for _, dc := range dates {
+		if d := DaysAfterHoliday(dc.Date); d >= 0 && d <= within {
+			after++
+		}
+		if daysBeforeHoliday(dc.Date) <= 3 {
+			preHoliday++
+		}
+	}
+	return after, preHoliday
+}
+
+func daysBeforeHoliday(date time.Time) int {
+	date = time.Date(date.Year(), date.Month(), date.Day(), 0, 0, 0, 0, time.UTC)
+	best := 1 << 30
+	for _, h := range append(usHolidays(date.Year()), usHolidays(date.Year()+1)...) {
+		if h.Before(date) {
+			continue
+		}
+		if d := int(h.Sub(date).Hours() / 24); d < best {
+			best = d
+		}
+	}
+	return best
+}

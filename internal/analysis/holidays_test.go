@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNthWeekday(t *testing.T) {
+	tests := []struct {
+		year  int
+		month time.Month
+		day   time.Weekday
+		n     int
+		want  time.Time
+	}{
+		// Labor Day 2014 was September 1.
+		{2014, time.September, time.Monday, 1, time.Date(2014, 9, 1, 0, 0, 0, 0, time.UTC)},
+		// Thanksgiving 2016 was November 24.
+		{2016, time.November, time.Thursday, 4, time.Date(2016, 11, 24, 0, 0, 0, 0, time.UTC)},
+		// Labor Day 2018 was September 3.
+		{2018, time.September, time.Monday, 1, time.Date(2018, 9, 3, 0, 0, 0, 0, time.UTC)},
+	}
+	for _, tt := range tests {
+		got := nthWeekday(tt.year, tt.month, tt.day, tt.n)
+		if !got.Equal(tt.want) {
+			t.Errorf("nthWeekday(%d, %v, %v, %d) = %v, want %v",
+				tt.year, tt.month, tt.day, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestDaysAfterHoliday(t *testing.T) {
+	tests := []struct {
+		date time.Time
+		want int
+	}{
+		// The paper's examples: 9/9/14 is 8 days after Labor Day (9/1).
+		{time.Date(2014, 9, 9, 0, 0, 0, 0, time.UTC), 8},
+		// 7/9/18 is 5 days after Independence Day.
+		{time.Date(2018, 7, 9, 0, 0, 0, 0, time.UTC), 5},
+		// 1/17/17 is 16 days after New Year's Day.
+		{time.Date(2017, 1, 17, 0, 0, 0, 0, time.UTC), 16},
+		// A holiday itself is 0 days after.
+		{time.Date(2018, 7, 4, 0, 0, 0, 0, time.UTC), 0},
+		// Early January reaches back to the prior year's Christmas? No —
+		// New Year's Day is closer: 1/2 is 1 day after.
+		{time.Date(2018, 1, 2, 0, 0, 0, 0, time.UTC), 1},
+		// December 27 is 2 days after Christmas.
+		{time.Date(2017, 12, 27, 0, 0, 0, 0, time.UTC), 2},
+	}
+	for _, tt := range tests {
+		if got := DaysAfterHoliday(tt.date); got != tt.want {
+			t.Errorf("DaysAfterHoliday(%v) = %d, want %d", tt.date.Format("2006-01-02"), got, tt.want)
+		}
+	}
+}
+
+func TestHolidayProximityPaperDates(t *testing.T) {
+	// The paper's top-10 estimated disclosure dates (Table 8).
+	mk := func(y, m, d int) DateCount {
+		return DateCount{Date: time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)}
+	}
+	top := []DateCount{
+		mk(2014, 9, 9), mk(2018, 7, 9), mk(2018, 4, 2), mk(2017, 7, 5),
+		mk(2016, 1, 19), mk(2017, 7, 18), mk(2015, 7, 14), mk(2005, 5, 2),
+		mk(2017, 1, 17), mk(2018, 7, 17),
+	}
+	after, pre := HolidayProximity(top, 21)
+	// The paper observes: "several of these top dates are within a
+	// couple of weeks after a US holiday" (8 of 10 within 3 weeks) and
+	// "we do not notice any particular pattern of pre-holiday
+	// disclosures".
+	if after < 6 {
+		t.Errorf("post-holiday dates = %d, want most of the top 10", after)
+	}
+	if pre > 1 {
+		t.Errorf("pre-holiday dates = %d, want ≈0", pre)
+	}
+}
+
+func TestHolidayProximityOnGenerated(t *testing.T) {
+	f := setup(t)
+	top := TopDates(f.disclosureDates(), 10)
+	after, _ := HolidayProximity(top, 21)
+	// The generator's burst events mirror the paper's post-holiday
+	// clustering.
+	if after == 0 {
+		t.Error("no post-holiday clustering in generated top dates")
+	}
+}

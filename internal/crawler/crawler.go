@@ -1,0 +1,238 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"nvdclean/internal/cve"
+	"nvdclean/internal/gen"
+)
+
+// Stats accounts for a crawl, mirroring the coverage discussion of §4.1
+// and §6.
+type Stats struct {
+	// URLs is the number of reference URLs considered.
+	URLs int
+	// Skipped counts URLs outside the top-K domain set.
+	Skipped int
+	// DeadDomain counts fetches that failed at the connection level.
+	DeadDomain int
+	// Fetched counts successful page fetches.
+	Fetched int
+	// Extracted counts pages yielding a date.
+	Extracted int
+	// HTTPErrors counts non-200 responses.
+	HTTPErrors int
+}
+
+// add merges per-URL outcomes; guarded by the crawler's mutex.
+func (s *Stats) add(o Stats) {
+	s.URLs += o.URLs
+	s.Skipped += o.Skipped
+	s.DeadDomain += o.DeadDomain
+	s.Fetched += o.Fetched
+	s.Extracted += o.Extracted
+	s.HTTPErrors += o.HTTPErrors
+}
+
+// Config controls a Crawler.
+type Config struct {
+	// Transport fetches pages. Required: use webcorpus.Transport() for
+	// the simulated web or http.DefaultTransport for the real one.
+	Transport http.RoundTripper
+	// TopK restricts crawling to the TopK most popular domains
+	// (paper: 50). Zero means 50.
+	TopK int
+	// Concurrency is the number of parallel fetch workers. Zero means 8.
+	Concurrency int
+	// Timeout bounds each fetch. Zero means 10s.
+	Timeout time.Duration
+	// MaxBodyBytes caps each response read. Zero means 1 MiB.
+	MaxBodyBytes int64
+}
+
+// Crawler estimates CVE disclosure dates from reference pages.
+type Crawler struct {
+	cfg        Config
+	client     *http.Client
+	extractors map[string]Extractor // host -> extractor, top-K only
+}
+
+// New validates cfg and builds the per-domain extractor set.
+func New(cfg Config) (*Crawler, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("crawler: Transport is required")
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 50
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	c := &Crawler{
+		cfg:        cfg,
+		client:     &http.Client{Transport: cfg.Transport, Timeout: cfg.Timeout},
+		extractors: make(map[string]Extractor),
+	}
+	for i, d := range gen.Domains() {
+		if i >= cfg.TopK {
+			break
+		}
+		if ex := ExtractorFor(d.Format); ex != nil {
+			c.extractors[d.Host] = ex
+		}
+	}
+	return c, nil
+}
+
+// NumDomains returns the number of domains the crawler can parse.
+func (c *Crawler) NumDomains() int { return len(c.extractors) }
+
+// fetchDate retrieves one reference page and extracts its date.
+func (c *Crawler) fetchDate(ctx context.Context, rawURL string) (time.Time, Stats) {
+	var st Stats
+	st.URLs = 1
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		st.Skipped = 1
+		return time.Time{}, st
+	}
+	ex, ok := c.extractors[u.Hostname()]
+	if !ok {
+		st.Skipped = 1
+		return time.Time{}, st
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		st.Skipped = 1
+		return time.Time{}, st
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		st.DeadDomain = 1
+		return time.Time{}, st
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		st.HTTPErrors = 1
+		return time.Time{}, st
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		st.HTTPErrors = 1
+		return time.Time{}, st
+	}
+	st.Fetched = 1
+	date, found := ex(body)
+	if !found {
+		return time.Time{}, st
+	}
+	st.Extracted = 1
+	return date, st
+}
+
+// Estimate computes the estimated disclosure date for one entry: the
+// minimum of the dates extracted from its reference URLs and the NVD
+// publication date (§4.1).
+func (c *Crawler) Estimate(ctx context.Context, e *cve.Entry) (time.Time, Stats) {
+	best := e.Published
+	var st Stats
+	for _, r := range e.References {
+		d, s := c.fetchDate(ctx, r.URL)
+		st.add(s)
+		if !d.IsZero() && d.Before(best) {
+			best = d
+		}
+	}
+	return best, st
+}
+
+// Result is one CVE's estimated disclosure date.
+type Result struct {
+	ID        string
+	Estimated time.Time
+	// LagDays is the number of days the NVD publication trails the
+	// estimate (the paper's "lag time").
+	LagDays int
+}
+
+// EstimateAll crawls every entry of the snapshot with the configured
+// concurrency and returns per-CVE results (sorted by ID order of the
+// snapshot) plus aggregate stats.
+func (c *Crawler) EstimateAll(ctx context.Context, snap *cve.Snapshot) ([]Result, Stats, error) {
+	results := make([]Result, len(snap.Entries))
+	var agg Stats
+	var mu sync.Mutex
+	sem := make(chan struct{}, c.cfg.Concurrency)
+	var wg sync.WaitGroup
+	for i, e := range snap.Entries {
+		if err := ctx.Err(); err != nil {
+			return nil, agg, fmt.Errorf("crawler: %w", err)
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, e *cve.Entry) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			est, st := c.Estimate(ctx, e)
+			lag := int(e.Published.Sub(est).Hours() / 24)
+			if lag < 0 {
+				lag = 0
+			}
+			results[i] = Result{ID: e.ID, Estimated: est, LagDays: lag}
+			mu.Lock()
+			agg.add(st)
+			mu.Unlock()
+		}(i, e)
+	}
+	wg.Wait()
+	return results, agg, nil
+}
+
+// Coverage returns the fraction of considered URLs whose domain was in
+// the crawlable top-K set.
+func (s Stats) Coverage() float64 {
+	if s.URLs == 0 {
+		return 0
+	}
+	return float64(s.URLs-s.Skipped) / float64(s.URLs)
+}
+
+// LagTimes extracts the lag-day series from results, the input to the
+// Fig 1 CDF.
+func LagTimes(results []Result) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = float64(r.LagDays)
+	}
+	return out
+}
+
+// EstimatedDates converts results to a map for analysis code.
+func EstimatedDates(results []Result) map[string]time.Time {
+	m := make(map[string]time.Time, len(results))
+	for _, r := range results {
+		m[r.ID] = r.Estimated
+	}
+	return m
+}
+
+// SortByLag sorts a copy of results by descending lag.
+func SortByLag(results []Result) []Result {
+	out := append([]Result(nil), results...)
+	sort.Slice(out, func(i, j int) bool { return out[i].LagDays > out[j].LagDays })
+	return out
+}

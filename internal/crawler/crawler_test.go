@@ -1,0 +1,242 @@
+package crawler
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nvdclean/internal/cve"
+	"nvdclean/internal/gen"
+	"nvdclean/internal/webcorpus"
+)
+
+func testSetup(t testing.TB, cfg gen.Config) (*cve.Snapshot, *gen.Truth, *Crawler) {
+	t.Helper()
+	snap, truth, _, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := webcorpus.New(snap, truth.Disclosure)
+	c, err := New(Config{Transport: corpus.Transport(), Concurrency: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, truth, c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing transport should fail")
+	}
+	snap, truth, _, err := gen.Generate(gen.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := webcorpus.New(snap, truth.Disclosure)
+	c, err := New(Config{Transport: corpus.Transport(), TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDomains() != 10 {
+		t.Errorf("NumDomains = %d, want 10", c.NumDomains())
+	}
+}
+
+func TestEstimateRecoversDisclosure(t *testing.T) {
+	snap, truth, c := testSetup(t, gen.TinyConfig())
+	ctx := context.Background()
+	var recovered, lagged int
+	for _, e := range snap.Entries {
+		if len(e.References) == 0 {
+			continue
+		}
+		est, _ := c.Estimate(ctx, e)
+		disc := truth.Disclosure[e.ID]
+		if est.Before(disc) {
+			t.Fatalf("%s: estimate %v before true disclosure %v", e.ID, est, disc)
+		}
+		if est.After(e.Published) {
+			t.Fatalf("%s: estimate %v after publication %v", e.ID, est, e.Published)
+		}
+		if disc.Before(e.Published) {
+			lagged++
+			if est.Equal(disc) {
+				recovered++
+			}
+		}
+	}
+	if lagged == 0 {
+		t.Skip("no lagged CVEs at this scale")
+	}
+	rate := float64(recovered) / float64(lagged)
+	// Most lagged CVEs have a live primary reference carrying the exact
+	// disclosure date; only the dead-refs-only and no-refs slices are
+	// unrecoverable (§6 "Limitations").
+	if rate < 0.80 {
+		t.Errorf("recovery rate = %.2f, want ≥0.80", rate)
+	}
+}
+
+func TestEstimateAll(t *testing.T) {
+	snap, truth, c := testSetup(t, gen.TinyConfig())
+	results, stats, err := c.EstimateAll(context.Background(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != snap.Len() {
+		t.Fatalf("results = %d, want %d", len(results), snap.Len())
+	}
+	if stats.URLs == 0 || stats.Fetched == 0 || stats.Extracted == 0 {
+		t.Errorf("stats look empty: %+v", stats)
+	}
+	if stats.Extracted > stats.Fetched {
+		t.Errorf("extracted %d > fetched %d", stats.Extracted, stats.Fetched)
+	}
+	if stats.Coverage() < 0.75 {
+		t.Errorf("coverage = %.2f, want ≈0.85 for top-50", stats.Coverage())
+	}
+	// Results align with entries.
+	for i, r := range results {
+		if r.ID != snap.Entries[i].ID {
+			t.Fatalf("result %d is %s, want %s", i, r.ID, snap.Entries[i].ID)
+		}
+		if r.LagDays < 0 {
+			t.Fatalf("%s: negative lag", r.ID)
+		}
+		trueLag := truth.LagDays(r.ID, snap.Entries[i].Published)
+		if r.LagDays > trueLag {
+			t.Fatalf("%s: measured lag %d exceeds injected lag %d", r.ID, r.LagDays, trueLag)
+		}
+	}
+}
+
+func TestEstimateAllContextCancel(t *testing.T) {
+	snap, _, c := testSetup(t, gen.TinyConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.EstimateAll(ctx, snap); err == nil {
+		t.Error("cancelled context should abort")
+	}
+}
+
+func TestTopKLimitsCoverage(t *testing.T) {
+	snap, truth, _ := testSetup(t, gen.TinyConfig())
+	corpus := webcorpus.New(snap, truth.Disclosure)
+	wide, err := New(Config{Transport: corpus.Transport(), TopK: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := New(Config{Transport: corpus.Transport(), TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wideStats, err := wide.EstimateAll(context.Background(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, narrowStats, err := narrow.EstimateAll(context.Background(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrowStats.Coverage() >= wideStats.Coverage() {
+		t.Errorf("narrow coverage %.2f should be below wide %.2f",
+			narrowStats.Coverage(), wideStats.Coverage())
+	}
+}
+
+func TestExtractors(t *testing.T) {
+	date := time.Date(2011, 2, 7, 0, 0, 0, 0, time.UTC)
+	for _, format := range []gen.PageFormat{
+		gen.FormatMeta, gen.FormatTable, gen.FormatText, gen.FormatISO, gen.FormatJapanese,
+	} {
+		d := gen.Domain{Host: "h.example.com", Category: gen.CategoryVulnDB, Format: format}
+		body := webcorpus.RenderPage(d, "CVE-2011-0700", date)
+		ex := ExtractorFor(format)
+		if ex == nil {
+			t.Fatalf("no extractor for format %d", format)
+		}
+		got, ok := ex([]byte(body))
+		if !ok {
+			t.Errorf("format %d: extraction failed on\n%s", format, body)
+			continue
+		}
+		if !got.Equal(date) {
+			t.Errorf("format %d: extracted %v, want %v", format, got, date)
+		}
+	}
+	if ExtractorFor(gen.PageFormat(99)) != nil {
+		t.Error("unknown format should have no extractor")
+	}
+}
+
+func TestExtractorsRejectGarbage(t *testing.T) {
+	bodies := [][]byte{
+		nil,
+		[]byte("<html><body>no dates here</body></html>"),
+		[]byte(`<meta name="date" content="not-a-date">`),
+		[]byte(`<td>Published:</td><td>99 Xxx 2014</td>`),
+	}
+	for _, format := range []gen.PageFormat{
+		gen.FormatMeta, gen.FormatTable, gen.FormatText, gen.FormatISO, gen.FormatJapanese,
+	} {
+		ex := ExtractorFor(format)
+		for _, b := range bodies {
+			if _, ok := ex(b); ok {
+				t.Errorf("format %d extracted a date from garbage %q", format, b)
+			}
+		}
+	}
+}
+
+func TestExtractorIgnoresDistractors(t *testing.T) {
+	// The table page has an "Updated:" row after "Published:"; the
+	// extractor must return the published one.
+	d := gen.Domain{Host: "h.example.com", Format: gen.FormatTable}
+	date := time.Date(2014, 4, 7, 0, 0, 0, 0, time.UTC)
+	body := webcorpus.RenderPage(d, "CVE-2014-0160", date)
+	got, ok := extractTable([]byte(body))
+	if !ok || !got.Equal(date) {
+		t.Errorf("extracted %v, want %v", got, date)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	results := []Result{
+		{ID: "CVE-2001-0001", Estimated: time.Date(2001, 1, 1, 0, 0, 0, 0, time.UTC), LagDays: 5},
+		{ID: "CVE-2001-0002", Estimated: time.Date(2001, 2, 1, 0, 0, 0, 0, time.UTC), LagDays: 50},
+	}
+	lags := LagTimes(results)
+	if len(lags) != 2 || lags[0] != 5 || lags[1] != 50 {
+		t.Errorf("LagTimes = %v", lags)
+	}
+	dates := EstimatedDates(results)
+	if len(dates) != 2 || dates["CVE-2001-0002"].Month() != time.February {
+		t.Errorf("EstimatedDates = %v", dates)
+	}
+	sorted := SortByLag(results)
+	if sorted[0].LagDays != 50 {
+		t.Errorf("SortByLag = %v", sorted)
+	}
+	if results[0].LagDays != 5 {
+		t.Error("SortByLag mutated input")
+	}
+}
+
+func BenchmarkEstimateAllTiny(b *testing.B) {
+	snap, truth, _, err := gen.Generate(gen.TinyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := webcorpus.New(snap, truth.Disclosure)
+	c, err := New(Config{Transport: corpus.Transport(), Concurrency: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.EstimateAll(context.Background(), snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

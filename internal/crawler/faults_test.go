@@ -1,0 +1,272 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nvdclean/internal/cve"
+	"nvdclean/internal/gen"
+	"nvdclean/internal/webcorpus"
+)
+
+// flakyTransport fails every nth request with a transport error.
+type flakyTransport struct {
+	inner http.RoundTripper
+	n     int64
+	count atomic.Int64
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.count.Add(1)%f.n == 0 {
+		return nil, errors.New("injected transport failure")
+	}
+	return f.inner.RoundTrip(req)
+}
+
+// errorTransport returns HTTP 500 for everything.
+type errorTransport struct{}
+
+func (errorTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: http.StatusInternalServerError,
+		Status:     "500 Internal Server Error",
+		Header:     http.Header{},
+		Body:       io.NopCloser(strings.NewReader("boom")),
+		Request:    req,
+	}, nil
+}
+
+// garbageTransport serves pages without any parseable date.
+type garbageTransport struct{}
+
+func (garbageTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	body := "<html><body>nothing to see here</body></html>"
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Status:     "200 OK",
+		Header:     http.Header{"Content-Type": []string{"text/html"}},
+		Body:       io.NopCloser(strings.NewReader(body)),
+		Request:    req,
+	}, nil
+}
+
+// hugeTransport serves an endless body to exercise the read cap.
+type hugeTransport struct{}
+
+func (hugeTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// 8 MiB of padding with a valid date planted past the 1 MiB cap.
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	b.WriteString(strings.Repeat("x", 8<<20))
+	b.WriteString(`<time datetime="2014-04-07">late date</time></body></html>`)
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Status:     "200 OK",
+		Header:     http.Header{},
+		Body:       io.NopCloser(strings.NewReader(b.String())),
+		Request:    req,
+	}, nil
+}
+
+func faultSnapshot(t testing.TB) (*cve.Snapshot, *gen.Truth, *webcorpus.Corpus) {
+	t.Helper()
+	snap, truth, _, err := gen.Generate(gen.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, truth, webcorpus.New(snap, truth.Disclosure)
+}
+
+// TestFlakyTransport: a transport failing 1 in 3 requests must not abort
+// the crawl; estimates degrade gracefully toward the NVD date and never
+// go below the true disclosure.
+func TestFlakyTransport(t *testing.T) {
+	snap, truth, corpus := faultSnapshot(t)
+	c, err := New(Config{
+		Transport:   &flakyTransport{inner: corpus.Transport(), n: 3},
+		Concurrency: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats, err := c.EstimateAll(context.Background(), snap)
+	if err != nil {
+		t.Fatalf("flaky crawl aborted: %v", err)
+	}
+	if len(results) != snap.Len() {
+		t.Fatalf("results = %d, want %d", len(results), snap.Len())
+	}
+	if stats.DeadDomain == 0 {
+		t.Error("injected failures not accounted")
+	}
+	for i, r := range results {
+		e := snap.Entries[i]
+		if r.Estimated.Before(truth.Disclosure[e.ID]) {
+			t.Fatalf("%s: estimate before true disclosure despite failures", e.ID)
+		}
+		if r.Estimated.After(e.Published) {
+			t.Fatalf("%s: estimate after publication", e.ID)
+		}
+	}
+}
+
+// TestAllServerErrors: HTTP 500s everywhere must leave estimates at the
+// NVD dates and count as HTTP errors.
+func TestAllServerErrors(t *testing.T) {
+	snap, _, _ := faultSnapshot(t)
+	c, err := New(Config{Transport: errorTransport{}, Concurrency: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats, err := c.EstimateAll(context.Background(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HTTPErrors == 0 {
+		t.Error("no HTTP errors recorded")
+	}
+	if stats.Extracted != 0 {
+		t.Error("extraction from 500s should be impossible")
+	}
+	for i, r := range results {
+		if !r.Estimated.Equal(snap.Entries[i].Published) {
+			t.Fatalf("%s: estimate moved despite all-500s", r.ID)
+		}
+		if r.LagDays != 0 {
+			t.Fatalf("%s: lag %d without extraction", r.ID, r.LagDays)
+		}
+	}
+}
+
+// TestUnparseablePages: valid 200s with no date must count as fetched
+// but not extracted.
+func TestUnparseablePages(t *testing.T) {
+	snap, _, _ := faultSnapshot(t)
+	c, err := New(Config{Transport: garbageTransport{}, Concurrency: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := c.EstimateAll(context.Background(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fetched == 0 {
+		t.Error("pages should have been fetched")
+	}
+	if stats.Extracted != 0 {
+		t.Errorf("extracted %d dates from garbage", stats.Extracted)
+	}
+}
+
+// TestBodyCap: a multi-megabyte page is truncated at MaxBodyBytes; a
+// date planted beyond the cap is not read, and the crawler neither
+// hangs nor overallocates.
+func TestBodyCap(t *testing.T) {
+	snap, _, _ := faultSnapshot(t)
+	c, err := New(Config{Transport: hugeTransport{}, Concurrency: 4, MaxBodyBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := firstWithRefs(t, snap)
+	_, stats := c.Estimate(context.Background(), e)
+	if stats.Fetched == 0 {
+		t.Fatal("nothing fetched")
+	}
+	if stats.Extracted != 0 {
+		t.Error("date beyond the body cap should not be extracted")
+	}
+}
+
+// TestConcurrentCrawlsShareNothing: two crawls over the same corpus in
+// parallel must both succeed (no hidden shared state).
+func TestConcurrentCrawlsShareNothing(t *testing.T) {
+	snap, _, corpus := faultSnapshot(t)
+	c, err := New(Config{Transport: corpus.Transport(), Concurrency: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := c.EstimateAll(context.Background(), snap); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestPartialDomainOutage: taking live domains down mid-universe leaves
+// the remaining references to carry the estimate.
+func TestPartialDomainOutage(t *testing.T) {
+	snap, truth, corpus := faultSnapshot(t)
+	// Kill every other live domain at the transport level.
+	down := make(map[string]bool)
+	i := 0
+	for _, d := range gen.Domains() {
+		if !d.Dead {
+			if i%2 == 0 {
+				down[d.Host] = true
+			}
+			i++
+		}
+	}
+	inner := corpus.Transport()
+	rt := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		if down[req.URL.Hostname()] {
+			return nil, fmt.Errorf("outage: %s", req.URL.Hostname())
+		}
+		return inner.RoundTrip(req)
+	})
+	c, err := New(Config{Transport: rt, Concurrency: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats, err := c.EstimateAll(context.Background(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeadDomain == 0 {
+		t.Error("outages not observed")
+	}
+	// Some dates still recovered through surviving domains.
+	var recovered int
+	for i, r := range results {
+		e := snap.Entries[i]
+		if truth.Disclosure[e.ID].Before(e.Published) && r.Estimated.Equal(truth.Disclosure[e.ID]) {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Error("no dates recovered despite surviving domains")
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+func firstWithRefs(t *testing.T, snap *cve.Snapshot) *cve.Entry {
+	t.Helper()
+	for _, e := range snap.Entries {
+		if len(e.References) > 0 {
+			return e
+		}
+	}
+	t.Fatal("no entry with references")
+	return nil
+}

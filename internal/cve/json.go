@@ -1,0 +1,302 @@
+package cve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"nvdclean/internal/cpe"
+	"nvdclean/internal/cvss"
+	"nvdclean/internal/cwe"
+)
+
+// The NVD JSON 1.1 feed layout. Field names follow the feed schema so
+// the codec reads real NVD data-feed files unchanged.
+type (
+	feedJSON struct {
+		DataType    string     `json:"CVE_data_type"`
+		DataFormat  string     `json:"CVE_data_format"`
+		DataVersion string     `json:"CVE_data_version"`
+		NumberCVEs  string     `json:"CVE_data_numberOfCVEs"`
+		Timestamp   string     `json:"CVE_data_timestamp"`
+		Items       []itemJSON `json:"CVE_Items"`
+	}
+
+	itemJSON struct {
+		CVE            cveJSON      `json:"cve"`
+		Configurations *configsJSON `json:"configurations,omitempty"`
+		Impact         *impactJSON  `json:"impact,omitempty"`
+		PublishedDate  string       `json:"publishedDate"`
+		LastModified   string       `json:"lastModifiedDate,omitempty"`
+	}
+
+	cveJSON struct {
+		Meta        metaJSON     `json:"CVE_data_meta"`
+		ProblemType problemJSON  `json:"problemtype"`
+		References  refsJSON     `json:"references"`
+		Description descListJSON `json:"description"`
+	}
+
+	metaJSON struct {
+		ID       string `json:"ID"`
+		Assigner string `json:"ASSIGNER,omitempty"`
+	}
+
+	problemJSON struct {
+		Data []problemDataJSON `json:"problemtype_data"`
+	}
+
+	problemDataJSON struct {
+		Description []langValueJSON `json:"description"`
+	}
+
+	langValueJSON struct {
+		Lang   string `json:"lang"`
+		Value  string `json:"value"`
+		Source string `json:"source,omitempty"` // extension: evaluator provenance
+	}
+
+	refsJSON struct {
+		Data []refJSON `json:"reference_data"`
+	}
+
+	refJSON struct {
+		URL  string   `json:"url"`
+		Name string   `json:"name,omitempty"`
+		Tags []string `json:"tags,omitempty"`
+	}
+
+	descListJSON struct {
+		Data []langValueJSON `json:"description_data"`
+	}
+
+	configsJSON struct {
+		DataVersion string     `json:"CVE_data_version"`
+		Nodes       []nodeJSON `json:"nodes"`
+	}
+
+	nodeJSON struct {
+		Operator string         `json:"operator,omitempty"`
+		CPEMatch []cpeMatchJSON `json:"cpe_match,omitempty"`
+		Children []nodeJSON     `json:"children,omitempty"`
+	}
+
+	cpeMatchJSON struct {
+		Vulnerable bool   `json:"vulnerable"`
+		CPE23URI   string `json:"cpe23Uri"`
+	}
+
+	impactJSON struct {
+		BaseMetricV3 *baseMetricV3JSON `json:"baseMetricV3,omitempty"`
+		BaseMetricV2 *baseMetricV2JSON `json:"baseMetricV2,omitempty"`
+	}
+
+	baseMetricV3JSON struct {
+		CVSSV3 cvssV3JSON `json:"cvssV3"`
+	}
+
+	cvssV3JSON struct {
+		Version      string  `json:"version"`
+		VectorString string  `json:"vectorString"`
+		BaseScore    float64 `json:"baseScore"`
+		BaseSeverity string  `json:"baseSeverity"`
+	}
+
+	baseMetricV2JSON struct {
+		CVSSV2   cvssV2JSON `json:"cvssV2"`
+		Severity string     `json:"severity,omitempty"`
+	}
+
+	cvssV2JSON struct {
+		Version      string  `json:"version"`
+		VectorString string  `json:"vectorString"`
+		BaseScore    float64 `json:"baseScore"`
+	}
+)
+
+// feedTime is the timestamp layout of the NVD JSON feeds.
+const feedTime = "2006-01-02T15:04Z"
+
+// WriteFeed serializes the snapshot in NVD JSON 1.1 data-feed format.
+func WriteFeed(w io.Writer, s *Snapshot) error {
+	f := feedJSON{
+		DataType:    "CVE",
+		DataFormat:  "MITRE",
+		DataVersion: "4.0",
+		NumberCVEs:  strconv.Itoa(len(s.Entries)),
+		Timestamp:   s.CapturedAt.UTC().Format(feedTime),
+		Items:       make([]itemJSON, 0, len(s.Entries)),
+	}
+	for _, e := range s.Entries {
+		f.Items = append(f.Items, encodeItem(e))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&f)
+}
+
+func encodeItem(e *Entry) itemJSON {
+	item := itemJSON{
+		CVE: cveJSON{
+			Meta: metaJSON{ID: e.ID, Assigner: "cve@mitre.org"},
+		},
+		PublishedDate: e.Published.UTC().Format(feedTime),
+	}
+	if !e.LastModified.IsZero() {
+		item.LastModified = e.LastModified.UTC().Format(feedTime)
+	}
+	// Problem type (CWE field).
+	var ptDescs []langValueJSON
+	for _, id := range e.CWEs {
+		ptDescs = append(ptDescs, langValueJSON{Lang: "en", Value: id.String()})
+	}
+	item.CVE.ProblemType.Data = []problemDataJSON{{Description: ptDescs}}
+	// References.
+	for _, r := range e.References {
+		item.CVE.References.Data = append(item.CVE.References.Data, refJSON{
+			URL: r.URL, Name: r.URL, Tags: r.Tags,
+		})
+	}
+	// Descriptions.
+	for _, d := range e.Descriptions {
+		item.CVE.Description.Data = append(item.CVE.Description.Data, langValueJSON{
+			Lang: "en", Value: d.Value, Source: d.Source,
+		})
+	}
+	// Configurations (CPE list).
+	if len(e.CPEs) > 0 {
+		node := nodeJSON{Operator: "OR"}
+		for _, n := range e.CPEs {
+			node.CPEMatch = append(node.CPEMatch, cpeMatchJSON{
+				Vulnerable: true, CPE23URI: n.FormatString(),
+			})
+		}
+		item.Configurations = &configsJSON{DataVersion: "4.0", Nodes: []nodeJSON{node}}
+	}
+	// Impact.
+	if e.V2 != nil || e.V3 != nil {
+		item.Impact = &impactJSON{}
+		if e.V3 != nil {
+			item.Impact.BaseMetricV3 = &baseMetricV3JSON{CVSSV3: cvssV3JSON{
+				Version:      "3.0",
+				VectorString: e.V3.String(),
+				BaseScore:    e.V3.BaseScore(),
+				BaseSeverity: upper(e.V3.Severity().String()),
+			}}
+		}
+		if e.V2 != nil {
+			item.Impact.BaseMetricV2 = &baseMetricV2JSON{
+				CVSSV2: cvssV2JSON{
+					Version:      "2.0",
+					VectorString: e.V2.String(),
+					BaseScore:    e.V2.BaseScore(),
+				},
+				Severity: upper(e.V2.Severity().String()),
+			}
+		}
+	}
+	return item
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}
+
+// ReadFeed parses an NVD JSON 1.1 data feed. Malformed CWE strings and
+// CPE URIs are skipped rather than fatal, matching how NVD consumers must
+// treat the real feeds; CVSS vector strings must parse when present.
+func ReadFeed(r io.Reader) (*Snapshot, error) {
+	var f feedJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("cve: decoding feed: %w", err)
+	}
+	s := &Snapshot{}
+	if f.Timestamp != "" {
+		if ts, err := time.Parse(feedTime, f.Timestamp); err == nil {
+			s.CapturedAt = ts
+		}
+	}
+	for i := range f.Items {
+		e, err := decodeItem(&f.Items[i])
+		if err != nil {
+			return nil, fmt.Errorf("cve: item %d (%s): %w", i, f.Items[i].CVE.Meta.ID, err)
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	return s, nil
+}
+
+func decodeItem(item *itemJSON) (*Entry, error) {
+	e := &Entry{ID: item.CVE.Meta.ID}
+	if _, _, err := SplitID(e.ID); err != nil {
+		return nil, err
+	}
+	var err error
+	e.Published, err = time.Parse(feedTime, item.PublishedDate)
+	if err != nil {
+		return nil, fmt.Errorf("published date: %w", err)
+	}
+	if item.LastModified != "" {
+		e.LastModified, _ = time.Parse(feedTime, item.LastModified)
+	}
+	for _, pd := range item.CVE.ProblemType.Data {
+		for _, d := range pd.Description {
+			id, perr := cwe.Parse(d.Value)
+			if perr != nil || id == cwe.Unassigned {
+				continue
+			}
+			e.CWEs = append(e.CWEs, id)
+		}
+	}
+	for _, r := range item.CVE.References.Data {
+		e.References = append(e.References, Reference{URL: r.URL, Tags: r.Tags})
+	}
+	for _, d := range item.CVE.Description.Data {
+		e.Descriptions = append(e.Descriptions, Description{Source: d.Source, Value: d.Value})
+	}
+	if item.Configurations != nil {
+		collectCPEs(item.Configurations.Nodes, e)
+	}
+	if item.Impact != nil {
+		if m := item.Impact.BaseMetricV2; m != nil {
+			v, perr := cvss.ParseV2(m.CVSSV2.VectorString)
+			if perr != nil {
+				return nil, fmt.Errorf("v2 vector: %w", perr)
+			}
+			e.V2 = &v
+		}
+		if m := item.Impact.BaseMetricV3; m != nil {
+			v, perr := cvss.ParseV3(m.CVSSV3.VectorString)
+			if perr != nil {
+				return nil, fmt.Errorf("v3 vector: %w", perr)
+			}
+			e.V3 = &v
+		}
+	}
+	return e, nil
+}
+
+func collectCPEs(nodes []nodeJSON, e *Entry) {
+	for _, node := range nodes {
+		for _, m := range node.CPEMatch {
+			if !m.Vulnerable {
+				continue
+			}
+			n, err := cpe.Parse(m.CPE23URI)
+			if err != nil {
+				continue // tolerate malformed URIs in real feeds
+			}
+			e.CPEs = append(e.CPEs, n)
+		}
+		collectCPEs(node.Children, e)
+	}
+}

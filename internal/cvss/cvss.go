@@ -1,0 +1,121 @@
+// Package cvss implements the Common Vulnerability Scoring System base
+// metrics used by the NVD: full CVSS v2 and CVSS v3.0 base-score
+// calculators following the FIRST specification equations, vector-string
+// parsing and formatting, and the severity banding of the paper's Table 1.
+//
+// The calculators serve two roles in the reproduction: they score the
+// synthetic vulnerabilities emitted by the generator (providing ground
+// truth for the v2→v3 prediction experiments of §4.3), and they validate
+// vectors parsed from NVD-style JSON feeds.
+package cvss
+
+import "math"
+
+// Severity is a CVSS qualitative severity band (Table 1).
+type Severity int
+
+// Severity bands in increasing order. None exists only under v3 (score
+// exactly 0.0); Critical exists only under v3 (9.0–10.0).
+const (
+	SeverityNone Severity = iota + 1
+	SeverityLow
+	SeverityMedium
+	SeverityHigh
+	SeverityCritical
+)
+
+// String returns the full label of the band as printed in the paper.
+func (s Severity) String() string {
+	switch s {
+	case SeverityNone:
+		return "None"
+	case SeverityLow:
+		return "Low"
+	case SeverityMedium:
+		return "Medium"
+	case SeverityHigh:
+		return "High"
+	case SeverityCritical:
+		return "Critical"
+	default:
+		return "Unknown"
+	}
+}
+
+// Abbrev returns the single-letter abbreviation used in the paper's
+// tables (L, M, H, C); None has no abbreviation and returns "-".
+func (s Severity) Abbrev() string {
+	switch s {
+	case SeverityLow:
+		return "L"
+	case SeverityMedium:
+		return "M"
+	case SeverityHigh:
+		return "H"
+	case SeverityCritical:
+		return "C"
+	default:
+		return "-"
+	}
+}
+
+// SeverityV2 maps a CVSS v2 base score to its severity band:
+// Low 0.0–3.9, Medium 4.0–6.9, High 7.0–10.0.
+func SeverityV2(score float64) Severity {
+	switch {
+	case score < 4.0:
+		return SeverityLow
+	case score < 7.0:
+		return SeverityMedium
+	default:
+		return SeverityHigh
+	}
+}
+
+// SeverityV3 maps a CVSS v3 base score to its severity band:
+// None 0.0, Low 0.1–3.9, Medium 4.0–6.9, High 7.0–8.9, Critical 9.0–10.0.
+func SeverityV3(score float64) Severity {
+	switch {
+	case score <= 0.0:
+		return SeverityNone
+	case score < 4.0:
+		return SeverityLow
+	case score < 7.0:
+		return SeverityMedium
+	case score < 9.0:
+		return SeverityHigh
+	default:
+		return SeverityCritical
+	}
+}
+
+// ParseSeverity converts a label ("LOW", "Critical", "H", …) to a
+// Severity. It returns false for unrecognized labels.
+func ParseSeverity(s string) (Severity, bool) {
+	switch s {
+	case "NONE", "None", "none":
+		return SeverityNone, true
+	case "LOW", "Low", "low", "L":
+		return SeverityLow, true
+	case "MEDIUM", "Medium", "medium", "M":
+		return SeverityMedium, true
+	case "HIGH", "High", "high", "H":
+		return SeverityHigh, true
+	case "CRITICAL", "Critical", "critical", "C":
+		return SeverityCritical, true
+	}
+	return 0, false
+}
+
+// roundTo1 rounds to one decimal place, half away from zero, as the CVSS
+// v2 equations require.
+func roundTo1(x float64) float64 {
+	return math.Round(x*10) / 10
+}
+
+// roundUp1 is the CVSS v3.0 "Round up to 1 decimal place" function. A
+// small epsilon guards against values like 8.6000000000000005 produced by
+// binary floating point rounding up to 8.7.
+func roundUp1(x float64) float64 {
+	return math.Ceil(x*10-1e-9) / 10
+}

@@ -1,0 +1,168 @@
+// Package embed provides a deterministic, stdlib-only text encoder that
+// stands in for the Universal Sentence Encoder of §4.4 (see DESIGN.md's
+// substitution table). Documents are preprocessed with the paper's
+// pipeline (textnorm), hashed into term buckets with TF-IDF weighting,
+// and projected into a fixed low-dimensional space with a seeded random
+// sign projection. The encoder preserves the property the downstream
+// k-NN classifier relies on: descriptions sharing vocabulary land near
+// each other, and the output is a fixed 512-dimensional unit vector.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+
+	"nvdclean/internal/textnorm"
+)
+
+// DefaultDim matches the Universal Sentence Encoder's output size.
+const DefaultDim = 512
+
+// defaultBuckets is the hashed vocabulary size.
+const defaultBuckets = 1 << 14
+
+// Encoder converts text to dense unit vectors. Fit learns inverse
+// document frequencies from a corpus; Encode then embeds any text.
+// The zero value is unusable — construct with NewEncoder.
+type Encoder struct {
+	dim     int
+	buckets int
+	seed    uint64
+	// df[b] is the number of fitted documents containing bucket b.
+	df   []int
+	docs int
+}
+
+// Option customizes an Encoder.
+type Option func(*Encoder)
+
+// WithDim overrides the output dimensionality (default 512).
+func WithDim(d int) Option {
+	return func(e *Encoder) {
+		if d > 0 {
+			e.dim = d
+		}
+	}
+}
+
+// WithSeed changes the projection seed, giving an independent random
+// projection (useful for ablations).
+func WithSeed(s uint64) Option {
+	return func(e *Encoder) { e.seed = s }
+}
+
+// NewEncoder returns an encoder with the given options applied.
+func NewEncoder(opts ...Option) *Encoder {
+	e := &Encoder{dim: DefaultDim, buckets: defaultBuckets, seed: 0x9e3779b97f4a7c15}
+	for _, o := range opts {
+		o(e)
+	}
+	e.df = make([]int, e.buckets)
+	return e
+}
+
+// Dim returns the output dimensionality.
+func (e *Encoder) Dim() int { return e.dim }
+
+// Fit accumulates document frequencies from the corpus. It may be
+// called repeatedly to extend the corpus.
+func (e *Encoder) Fit(docs []string) {
+	for _, d := range docs {
+		seen := make(map[int]struct{})
+		for _, tok := range textnorm.PreprocessDescription(d) {
+			seen[e.bucket(tok)] = struct{}{}
+		}
+		for b := range seen {
+			e.df[b]++
+		}
+		e.docs++
+	}
+}
+
+// Encode embeds one text as a unit vector of length Dim. Unknown tokens
+// still contribute (with maximal IDF), so Encode works before Fit,
+// degrading to pure hashed TF.
+func (e *Encoder) Encode(text string) []float64 {
+	tokens := textnorm.PreprocessDescription(text)
+	out := make([]float64, e.dim)
+	if len(tokens) == 0 {
+		return out
+	}
+	tf := make(map[int]float64, len(tokens))
+	for _, tok := range tokens {
+		tf[e.bucket(tok)]++
+	}
+	for b, f := range tf {
+		w := (1 + math.Log(f)) * e.idf(b)
+		e.project(b, w, out)
+	}
+	normalize(out)
+	return out
+}
+
+// bucket hashes a token into the vocabulary space.
+func (e *Encoder) bucket(tok string) int {
+	h := fnv.New64a()
+	h.Write([]byte(tok))
+	return int(h.Sum64() % uint64(e.buckets))
+}
+
+// idf returns the smoothed inverse document frequency of bucket b.
+func (e *Encoder) idf(b int) float64 {
+	return math.Log(float64(e.docs+1)/float64(e.df[b]+1)) + 1
+}
+
+// project adds w times the pseudo-random ±1 pattern of bucket b to out.
+// The pattern is derived from a splitmix64 stream seeded by (seed, b),
+// so it is stable across processes without storing the projection
+// matrix.
+func (e *Encoder) project(b int, w float64, out []float64) {
+	state := e.seed ^ (uint64(b)+1)*0xbf58476d1ce4e5b9
+	var bits uint64
+	var have int
+	for j := range out {
+		if have == 0 {
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			bits = z ^ (z >> 31)
+			have = 64
+		}
+		if bits&1 == 1 {
+			out[j] += w
+		} else {
+			out[j] -= w
+		}
+		bits >>= 1
+		have--
+	}
+}
+
+func normalize(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	if s == 0 {
+		return
+	}
+	n := math.Sqrt(s)
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// Cosine returns the cosine similarity of two equal-length vectors.
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

@@ -1,0 +1,164 @@
+package embed
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEncodeUnitNorm(t *testing.T) {
+	e := NewEncoder()
+	v := e.Encode("SQL injection vulnerability in the login form allows remote attackers to execute arbitrary SQL commands")
+	if len(v) != DefaultDim {
+		t.Fatalf("dim = %d", len(v))
+	}
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("norm² = %v, want 1", s)
+	}
+}
+
+func TestEncodeEmptyText(t *testing.T) {
+	e := NewEncoder()
+	v := e.Encode("")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("empty text should embed to the zero vector")
+		}
+	}
+	// Stopword-only text also embeds to zero.
+	v2 := e.Encode("the of and a an")
+	for _, x := range v2 {
+		if x != 0 {
+			t.Fatal("stopword-only text should embed to the zero vector")
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := NewEncoder().Encode("buffer overflow in the kernel")
+	b := NewEncoder().Encode("buffer overflow in the kernel")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("encoding is not deterministic across encoder instances")
+		}
+	}
+}
+
+func TestSimilarTextsAreCloser(t *testing.T) {
+	e := NewEncoder()
+	sqlA := e.Encode("SQL injection in the login page allows remote attackers to execute arbitrary SQL commands via the user parameter")
+	sqlB := e.Encode("SQL injection vulnerability in index.php allows remote attackers to execute arbitrary SQL commands via the id parameter")
+	bufA := e.Encode("Buffer overflow in the PNG image parser allows attackers to cause a denial of service via a crafted memory chunk")
+	simSQL := Cosine(sqlA, sqlB)
+	simCross := Cosine(sqlA, bufA)
+	if simSQL <= simCross {
+		t.Errorf("same-type similarity %v should exceed cross-type %v", simSQL, simCross)
+	}
+}
+
+func TestFitChangesWeighting(t *testing.T) {
+	// After fitting a corpus where "vulnerability" appears everywhere,
+	// that token's IDF falls, so two documents that share only
+	// "vulnerability" become less similar than before fitting.
+	corpus := []string{
+		"vulnerability in the SQL parser",
+		"vulnerability in the XSS filter",
+		"vulnerability in the kernel scheduler",
+		"vulnerability in the TLS handshake",
+		"buffer overflow bug",
+	}
+	a := "vulnerability in apache"
+	b := "vulnerability in nginx"
+
+	unfitted := NewEncoder()
+	simBefore := Cosine(unfitted.Encode(a), unfitted.Encode(b))
+
+	fitted := NewEncoder()
+	fitted.Fit(corpus)
+	simAfter := Cosine(fitted.Encode(a), fitted.Encode(b))
+
+	if simAfter >= simBefore {
+		t.Errorf("IDF down-weighting should reduce similarity: before %v after %v", simBefore, simAfter)
+	}
+}
+
+func TestWithDim(t *testing.T) {
+	e := NewEncoder(WithDim(64))
+	if e.Dim() != 64 {
+		t.Fatalf("Dim = %d", e.Dim())
+	}
+	if len(e.Encode("test input text")) != 64 {
+		t.Error("encoded length != 64")
+	}
+	// Non-positive dims are ignored.
+	e2 := NewEncoder(WithDim(0))
+	if e2.Dim() != DefaultDim {
+		t.Errorf("Dim = %d, want default", e2.Dim())
+	}
+}
+
+func TestWithSeedChangesProjection(t *testing.T) {
+	a := NewEncoder().Encode("buffer overflow in parser")
+	b := NewEncoder(WithSeed(12345)).Encode("buffer overflow in parser")
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds must give different projections")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cosine identical = %v", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{0, 1}); math.Abs(got) > 1e-12 {
+		t.Errorf("Cosine orthogonal = %v", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{-1, 0}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Cosine opposite = %v", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 0}); got != 0 {
+		t.Errorf("Cosine with zero vector = %v", got)
+	}
+}
+
+func TestRepeatedTokenSaturates(t *testing.T) {
+	// log-TF: ten repeats of a token must weigh less than 10x one
+	// occurrence, keeping long repetitive descriptions from dominating.
+	e := NewEncoder()
+	one := e.Encode("overflow parser")
+	ten := e.Encode("overflow overflow overflow overflow overflow overflow overflow overflow overflow overflow parser")
+	// Both contain the same tokens, so similarity should remain high.
+	if sim := Cosine(one, ten); sim < 0.5 {
+		t.Errorf("log-TF similarity = %v, want > 0.5", sim)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	e := NewEncoder()
+	text := "Buffer overflow in the Jakarta Multipart parser in Apache Struts 2 allows remote attackers to execute arbitrary commands via a crafted Content-Type header"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Encode(text)
+	}
+}
+
+func BenchmarkFit1000Docs(b *testing.B) {
+	docs := make([]string, 1000)
+	for i := range docs {
+		docs[i] = "vulnerability in component allows remote attackers to cause a denial of service"
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewEncoder().Fit(docs)
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"nvdclean/internal/gen"
+	"nvdclean/internal/predict"
+)
+
+var (
+	sharedSuite *Suite
+	suiteOnce   sync.Once
+	suiteErr    error
+)
+
+// testSuite builds one shared small-scale suite (pipeline + LR model)
+// for all experiment tests.
+func testSuite(t testing.TB) *Suite {
+	t.Helper()
+	suiteOnce.Do(func() {
+		sharedSuite, suiteErr = NewSuite(context.Background(), Options{
+			Scale:       gen.SmallConfig(),
+			Models:      []predict.ModelKind{predict.ModelLR, predict.ModelDNN},
+			ModelConfig: predict.ModelConfig{Epochs: 15, Compact: true, Seed: 1},
+			Concurrency: 16,
+		})
+	})
+	if suiteErr != nil {
+		t.Fatal(suiteErr)
+	}
+	return sharedSuite
+}
+
+func TestAllExperimentsRender(t *testing.T) {
+	s := testSuite(t)
+	for _, exp := range s.All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			out, err := exp.Render()
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(out) < 20 {
+				t.Errorf("%s: suspiciously short output %q", exp.ID, out)
+			}
+		})
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	s := testSuite(t)
+	seen := make(map[string]bool)
+	for _, exp := range s.All() {
+		if seen[exp.ID] {
+			t.Errorf("duplicate experiment id %s", exp.ID)
+		}
+		seen[exp.ID] = true
+		if exp.Title == "" {
+			t.Errorf("%s: empty title", exp.ID)
+		}
+	}
+	// All paper tables (2-16) and figures (1-5) are covered.
+	for _, id := range []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5",
+		"table2", "table3", "table4", "table5", "table6", "table7",
+		"table8", "table9", "table10", "table11", "table12",
+		"table13", "table14", "table15", "table16",
+	} {
+		if !seen[id] {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+}
+
+func TestFig1MentionsZeroLagShare(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lag <=     0 days") {
+		t.Errorf("zero-lag row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Reference crawl summary") {
+		t.Error("crawl summary missing")
+	}
+}
+
+func TestTable3HasThreeDatabases(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range []string{"NVD", "SF", "ST"} {
+		if !strings.Contains(out, db) {
+			t.Errorf("database %s missing:\n%s", db, out)
+		}
+	}
+}
+
+func TestTable7NamesSelectedModel(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "selected model:") {
+		t.Errorf("selected model missing:\n%s", out)
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	s := testSuite(t)
+	for _, exp := range s.Ablations(context.Background()) {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			out, err := exp.Render()
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(out) < 20 {
+				t.Errorf("%s: output too short:\n%s", exp.ID, out)
+			}
+		})
+	}
+}
+
+func TestAblationTopKShowsDiminishingReturns(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.AblationTopK(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("expected 4 sweep rows:\n%s", out)
+	}
+}

@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// components are the software locations descriptions reference.
+var components = []string{
+	"the login form", "the admin panel", "the HTTP request parser",
+	"the file upload handler", "the session manager", "the search function",
+	"the XML parser", "the image decoder", "the URL handler",
+	"the configuration interface", "the authentication module",
+	"the password reset feature", "the update mechanism", "the API endpoint",
+	"the comment field", "the packet handler", "the TLS implementation",
+	"the kernel driver", "the RPC service", "the web interface",
+	"the template engine", "the database layer", "the logging subsystem",
+	"the cache implementation", "the archive extractor",
+}
+
+// parameters are request fields attackers manipulate.
+var parameters = []string{
+	"id", "user", "q", "page", "file", "path", "name", "action", "token",
+	"redirect", "callback", "lang", "sort", "filter", "category",
+}
+
+// familyTemplates maps a weakness family to description templates. The
+// placeholders are: %[1]s product, %[2]s version, %[3]s component,
+// %[4]s parameter. Templates inside one family share that family's
+// vocabulary; several families intentionally share generic phrasing so
+// the §4.4 k-NN classifier faces realistic confusion instead of a
+// trivially separable corpus.
+var familyTemplates = map[string][]string{
+	"overflow": {
+		"Buffer overflow in %[3]s in %[1]s before %[2]s allows remote attackers to execute arbitrary code via a long %[4]s parameter.",
+		"Heap-based buffer overflow in %[1]s %[2]s allows attackers to cause a denial of service or possibly execute arbitrary code via a crafted file processed by %[3]s.",
+		"Stack-based buffer overflow in %[3]s in %[1]s %[2]s allows remote attackers to execute arbitrary code via a crafted request.",
+		"%[1]s before %[2]s does not properly restrict operations within the bounds of a memory buffer in %[3]s, which allows attackers to corrupt memory via the %[4]s field.",
+	},
+	"xss": {
+		"Cross-site scripting (XSS) vulnerability in %[3]s in %[1]s before %[2]s allows remote attackers to inject arbitrary web script or HTML via the %[4]s parameter.",
+		"Multiple cross-site scripting (XSS) vulnerabilities in %[1]s %[2]s allow remote attackers to inject arbitrary web script via %[3]s.",
+		"%[1]s before %[2]s does not properly sanitize user input in %[3]s, allowing script injection through the %[4]s parameter.",
+	},
+	"sqli": {
+		"SQL injection vulnerability in %[3]s in %[1]s before %[2]s allows remote attackers to execute arbitrary SQL commands via the %[4]s parameter.",
+		"Multiple SQL injection vulnerabilities in %[1]s %[2]s allow remote authenticated users to execute arbitrary SQL commands via %[3]s.",
+		"%[1]s before %[2]s does not properly neutralize special elements used in an SQL command in %[3]s, allowing database manipulation via the %[4]s field.",
+	},
+	"input": {
+		"Improper input validation in %[3]s in %[1]s before %[2]s allows remote attackers to cause unspecified impact via a malformed %[4]s value.",
+		"%[1]s %[2]s does not properly validate input to %[3]s, which allows attackers to trigger unexpected behavior via a crafted request.",
+		"Improper validation of user-supplied data in %[3]s in %[1]s allows attackers to bypass intended restrictions via the %[4]s parameter.",
+	},
+	"priv": {
+		"%[1]s before %[2]s does not properly enforce permissions in %[3]s, which allows local users to gain privileges via a crafted application.",
+		"Incorrect privilege assignment in %[3]s in %[1]s %[2]s allows authenticated users to obtain elevated access.",
+		"Permission management error in %[1]s before %[2]s allows local users to bypass access restrictions on %[3]s.",
+	},
+	"info": {
+		"Information exposure in %[3]s in %[1]s before %[2]s allows remote attackers to obtain sensitive information via a crafted request.",
+		"%[1]s %[2]s discloses sensitive data through %[3]s, allowing attackers to read configuration details via the %[4]s parameter.",
+		"An information disclosure issue in %[3]s in %[1]s allows remote attackers to enumerate valid usernames.",
+	},
+	"dos": {
+		"Resource management error in %[3]s in %[1]s before %[2]s allows remote attackers to cause a denial of service (memory consumption) via a crafted request.",
+		"%[1]s %[2]s allows remote attackers to cause a denial of service (crash) via a malformed packet processed by %[3]s.",
+		"NULL pointer dereference in %[3]s in %[1]s before %[2]s allows attackers to cause a denial of service via a crafted %[4]s value.",
+	},
+	"traversal": {
+		"Directory traversal vulnerability in %[3]s in %[1]s before %[2]s allows remote attackers to read arbitrary files via a .. (dot dot) in the %[4]s parameter.",
+		"Path traversal in %[1]s %[2]s allows attackers to access files outside the intended directory via %[3]s.",
+		"%[1]s before %[2]s does not properly limit pathnames in %[3]s, allowing file disclosure via a crafted %[4]s value.",
+	},
+	"csrf": {
+		"Cross-site request forgery (CSRF) vulnerability in %[3]s in %[1]s before %[2]s allows remote attackers to hijack the authentication of administrators for requests that change settings.",
+		"CSRF in %[1]s %[2]s allows remote attackers to perform actions as the victim via a crafted page targeting %[3]s.",
+	},
+	"codeinj": {
+		"Code injection vulnerability in %[3]s in %[1]s before %[2]s allows remote attackers to execute arbitrary code via the %[4]s parameter.",
+		"%[1]s %[2]s allows remote attackers to inject and execute arbitrary PHP code via %[3]s.",
+		"Eval injection in %[3]s in %[1]s allows attackers to execute arbitrary commands via a crafted %[4]s value.",
+	},
+	"cmdinj": {
+		"Command injection in %[3]s in %[1]s before %[2]s allows remote attackers to execute arbitrary OS commands via shell metacharacters in the %[4]s parameter.",
+		"%[1]s %[2]s allows remote authenticated users to execute arbitrary commands via %[3]s.",
+	},
+	"numeric": {
+		"Integer overflow in %[3]s in %[1]s before %[2]s allows remote attackers to execute arbitrary code via a crafted length field.",
+		"Integer underflow in %[1]s %[2]s allows attackers to cause a denial of service via a malformed %[4]s value processed by %[3]s.",
+		"Off-by-one error in %[3]s in %[1]s allows attackers to cause memory corruption via a crafted request.",
+	},
+	"uaf": {
+		"Use-after-free vulnerability in %[3]s in %[1]s before %[2]s allows remote attackers to execute arbitrary code via a crafted document.",
+		"%[1]s %[2]s contains a use-after-free in %[3]s that allows attackers to cause a denial of service or execute arbitrary code.",
+	},
+	"access": {
+		"Improper access control in %[3]s in %[1]s before %[2]s allows remote attackers to bypass authorization and access restricted functionality.",
+		"%[1]s %[2]s does not properly check authorization in %[3]s, allowing remote attackers to modify data via the %[4]s parameter.",
+	},
+	"crypto": {
+		"%[1]s before %[2]s uses a weak cryptographic algorithm in %[3]s, which makes it easier for attackers to decrypt intercepted traffic.",
+		"Cryptographic issue in %[3]s in %[1]s %[2]s allows man-in-the-middle attackers to obtain sensitive information.",
+		"%[1]s generates predictable random values in %[3]s, weakening generated keys.",
+	},
+	"creds": {
+		"%[1]s before %[2]s stores credentials in cleartext in %[3]s, which allows local users to obtain passwords.",
+		"%[1]s %[2]s contains hard-coded credentials in %[3]s, which allows remote attackers to gain access.",
+	},
+	"auth": {
+		"Improper authentication in %[3]s in %[1]s before %[2]s allows remote attackers to bypass login via a crafted %[4]s value.",
+		"%[1]s %[2]s allows authentication bypass via a spoofed token sent to %[3]s.",
+	},
+	"xxe": {
+		"XML external entity (XXE) vulnerability in %[3]s in %[1]s before %[2]s allows remote attackers to read arbitrary files via a crafted DTD.",
+		"%[1]s %[2]s processes external entities in %[3]s, allowing attackers to disclose internal files via a crafted XML document.",
+	},
+	"redirect": {
+		"Open redirect vulnerability in %[3]s in %[1]s before %[2]s allows remote attackers to redirect users to arbitrary web sites via the %[4]s parameter.",
+		"Server-side request forgery (SSRF) in %[3]s in %[1]s %[2]s allows attackers to send requests to internal systems via the %[4]s parameter.",
+	},
+	"generic": {
+		"Unspecified vulnerability in %[3]s in %[1]s before %[2]s allows remote attackers to cause unspecified impact via unknown vectors.",
+		"An issue was discovered in %[1]s %[2]s. Attackers can affect %[3]s via the %[4]s parameter.",
+		"A vulnerability in %[3]s of %[1]s could allow an attacker to compromise the affected system.",
+	},
+}
+
+// noiseTemplates are deliberately type-free descriptions used for a
+// fraction of CVEs of every family, modeling the crowd-sourced entries
+// whose text does not reveal the weakness class (this is what caps the
+// k-NN classifier's accuracy near the paper's 65.6%).
+var noiseTemplates = []string{
+	"An issue was discovered in %[1]s %[2]s. There is an impact to %[3]s.",
+	"A vulnerability was found in %[1]s before %[2]s affecting %[3]s. The impact is currently unknown.",
+	"Unspecified vulnerability in %[1]s %[2]s has unknown impact and attack vectors related to %[3]s.",
+	"A flaw exists in %[3]s in %[1]s %[2]s via the %[4]s parameter.",
+}
+
+// noiseRate is the fraction of descriptions drawn from noiseTemplates.
+const noiseRate = 0.25
+
+// renderDescription produces the primary free-form description for a
+// CVE of the given family. typeName is the weakness name from the CWE
+// catalog; long-tail types whose family has only generic templates
+// usually mention it (as real NVD analysts do), which is what keeps
+// those 100+ classes separable for the §4.4 classifier.
+func renderDescription(family, typeName, product, version string, rng *rand.Rand) string {
+	component := components[rng.Intn(len(components))]
+	param := parameters[rng.Intn(len(parameters))]
+	prettyProduct := strings.ReplaceAll(product, "_", " ")
+	var tmpl string
+	noise := rng.Float64() < noiseRate
+	if noise {
+		tmpl = noiseTemplates[rng.Intn(len(noiseTemplates))]
+	} else {
+		pool, ok := familyTemplates[family]
+		if !ok {
+			pool = familyTemplates["generic"]
+		}
+		tmpl = pool[rng.Intn(len(pool))]
+	}
+	desc := fmt.Sprintf(tmpl, prettyProduct, version, component, param)
+	if !noise && family == "generic" && typeName != "" && rng.Float64() < 0.75 {
+		desc += " The issue relates to " + strings.ToLower(typeName) + "."
+	}
+	return desc
+}
+
+// renderEvaluatorComment produces the evaluator description that embeds
+// the true CWE ID (§4.4's recovery channel), e.g.
+// "CWE-835: Loop with Unreachable Exit Condition ('Infinite Loop')".
+func renderEvaluatorComment(id string, name string) string {
+	if name == "" {
+		return "Per the evaluator, this issue is classified as " + id + "."
+	}
+	return id + ": " + name
+}
+
+// sampleVersion draws a plausible product version string.
+func sampleVersion(rng *rand.Rand) string {
+	major := rng.Intn(12)
+	minor := rng.Intn(10)
+	if rng.Float64() < 0.4 {
+		return fmt.Sprintf("%d.%d", major, minor)
+	}
+	return fmt.Sprintf("%d.%d.%d", major, minor, rng.Intn(20))
+}

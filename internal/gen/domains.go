@@ -1,0 +1,139 @@
+package gen
+
+import "math"
+
+// DomainCategory classifies a reference domain the way §4.1 does.
+type DomainCategory int
+
+// Categories of the paper's top-50 reference domains.
+const (
+	CategoryVulnDB DomainCategory = iota + 1
+	CategoryBugTracker
+	CategoryAdvisory
+	CategoryMailArchive
+)
+
+// PageFormat selects the HTML layout a domain uses for its vulnerability
+// pages, and therefore which extractor the crawler needs. The paper
+// built "a separate crawler for each domain" because "each of the
+// webpages may have a different structure".
+type PageFormat int
+
+// Page formats implemented by webcorpus and crawler.
+const (
+	// FormatMeta embeds the date in a <meta name="date"> tag.
+	FormatMeta PageFormat = iota + 1
+	// FormatTable lists "Published:" inside an HTML table row.
+	FormatTable
+	// FormatText writes "Published: January 2, 2006" in running prose.
+	FormatText
+	// FormatISO uses a <time datetime="2006-01-02"> element.
+	FormatISO
+	// FormatJapanese renders the date as 2006年01月02日 (jvn.jp).
+	FormatJapanese
+)
+
+// Domain is one reference-URL host of the synthetic web.
+type Domain struct {
+	Host     string
+	Category DomainCategory
+	Format   PageFormat
+	// Dead marks domains that no longer respond (the paper found 14 of
+	// the top 50, e.g. osvdb.org, shut down).
+	Dead bool
+	// weight is the relative share of reference URLs pointing here.
+	weight float64
+}
+
+// domainTable defines the reference-domain universe: 60 hosts with a
+// Zipf-like popularity so the top 50 cover ≈85% of URLs (§4.1). Hosts
+// are fictional but mirror the real categories; dead entries cluster in
+// the legacy vulnerability-database category.
+var domainTable = func() []Domain {
+	base := []Domain{
+		{Host: "securityfocus.example.com", Category: CategoryVulnDB, Format: FormatTable},
+		{Host: "securitytracker.example.com", Category: CategoryVulnDB, Format: FormatTable},
+		{Host: "bugzilla.example.org", Category: CategoryBugTracker, Format: FormatMeta},
+		{Host: "osvdb.example.org", Category: CategoryVulnDB, Format: FormatTable, Dead: true},
+		{Host: "marc.example.info", Category: CategoryMailArchive, Format: FormatText},
+		{Host: "seclists.example.org", Category: CategoryMailArchive, Format: FormatText},
+		{Host: "advisories.cisco.example.com", Category: CategoryAdvisory, Format: FormatISO},
+		{Host: "technet.microsoft.example.com", Category: CategoryAdvisory, Format: FormatISO},
+		{Host: "security.debian.example.org", Category: CategoryAdvisory, Format: FormatText},
+		{Host: "rhn.redhat.example.com", Category: CategoryAdvisory, Format: FormatISO},
+		{Host: "usn.ubuntu.example.com", Category: CategoryAdvisory, Format: FormatText},
+		{Host: "exploitdb.example.com", Category: CategoryVulnDB, Format: FormatMeta},
+		{Host: "issues.example.io", Category: CategoryBugTracker, Format: FormatISO},
+		{Host: "openwall.example.com", Category: CategoryMailArchive, Format: FormatText},
+		{Host: "kb.cert.example.org", Category: CategoryAdvisory, Format: FormatTable},
+		{Host: "jvn.example.jp", Category: CategoryVulnDB, Format: FormatJapanese},
+		{Host: "vupen.example.com", Category: CategoryVulnDB, Format: FormatTable, Dead: true},
+		{Host: "secunia.example.com", Category: CategoryVulnDB, Format: FormatTable, Dead: true},
+		{Host: "xforce.example.net", Category: CategoryVulnDB, Format: FormatMeta, Dead: true},
+		{Host: "oval.example.org", Category: CategoryVulnDB, Format: FormatMeta, Dead: true},
+		{Host: "security.gentoo.example.org", Category: CategoryAdvisory, Format: FormatText},
+		{Host: "lists.apache.example.org", Category: CategoryMailArchive, Format: FormatText},
+		{Host: "support.apple.example.com", Category: CategoryAdvisory, Format: FormatISO},
+		{Host: "chromium.example.org", Category: CategoryBugTracker, Format: FormatMeta},
+		{Host: "mozilla.example.org", Category: CategoryAdvisory, Format: FormatISO},
+		{Host: "oracle.example.com", Category: CategoryAdvisory, Format: FormatTable},
+		{Host: "ibm.example.com", Category: CategoryAdvisory, Format: FormatTable},
+		{Host: "drupal.example.org", Category: CategoryAdvisory, Format: FormatText},
+		{Host: "wordpress.example.org", Category: CategoryAdvisory, Format: FormatText},
+		{Host: "php.example.net", Category: CategoryBugTracker, Format: FormatTable},
+		{Host: "kernel.example.org", Category: CategoryBugTracker, Format: FormatText},
+		{Host: "launchpad.example.net", Category: CategoryBugTracker, Format: FormatMeta},
+		{Host: "sourceforge.example.net", Category: CategoryBugTracker, Format: FormatMeta, Dead: true},
+		{Host: "packetstorm.example.net", Category: CategoryVulnDB, Format: FormatText, Dead: true},
+		{Host: "fulldisclosure.example.org", Category: CategoryMailArchive, Format: FormatText, Dead: true},
+		{Host: "cert.example.fr", Category: CategoryAdvisory, Format: FormatISO},
+		{Host: "jpcert.example.jp", Category: CategoryAdvisory, Format: FormatJapanese},
+		{Host: "suse.example.com", Category: CategoryAdvisory, Format: FormatText},
+		{Host: "mandriva.example.com", Category: CategoryAdvisory, Format: FormatText, Dead: true},
+		{Host: "fedora.example.org", Category: CategoryAdvisory, Format: FormatText},
+		{Host: "hp.example.com", Category: CategoryAdvisory, Format: FormatTable},
+		{Host: "adobe.example.com", Category: CategoryAdvisory, Format: FormatISO},
+		{Host: "vmware.example.com", Category: CategoryAdvisory, Format: FormatISO},
+		{Host: "juniper.example.net", Category: CategoryAdvisory, Format: FormatTable},
+		{Host: "f5.example.com", Category: CategoryAdvisory, Format: FormatTable},
+		{Host: "trac.example.org", Category: CategoryBugTracker, Format: FormatMeta, Dead: true},
+		{Host: "milw0rm.example.com", Category: CategoryVulnDB, Format: FormatText, Dead: true},
+		{Host: "securiteam.example.com", Category: CategoryVulnDB, Format: FormatTable, Dead: true},
+		{Host: "frsirt.example.com", Category: CategoryVulnDB, Format: FormatTable, Dead: true},
+		{Host: "iss.example.net", Category: CategoryVulnDB, Format: FormatMeta, Dead: true},
+		// Below the paper's top-50 cut: the long tail the study skipped.
+		{Host: "blog.example-research.com", Category: CategoryAdvisory, Format: FormatText},
+		{Host: "pastebin.example.com", Category: CategoryMailArchive, Format: FormatText},
+		{Host: "twitter.example.com", Category: CategoryMailArchive, Format: FormatMeta},
+		{Host: "medium.example.com", Category: CategoryAdvisory, Format: FormatText},
+		{Host: "gist.example.com", Category: CategoryBugTracker, Format: FormatMeta},
+		{Host: "wiki.example.org", Category: CategoryAdvisory, Format: FormatText},
+		{Host: "forum.example.net", Category: CategoryMailArchive, Format: FormatText},
+		{Host: "cxsecurity.example.com", Category: CategoryVulnDB, Format: FormatTable},
+		{Host: "vulners.example.com", Category: CategoryVulnDB, Format: FormatMeta},
+		{Host: "zerodayinitiative.example.com", Category: CategoryAdvisory, Format: FormatISO},
+	}
+	for i := range base {
+		base[i].weight = 1 / math.Pow(float64(i+1), 0.85)
+	}
+	return base
+}()
+
+// Domains returns the reference-domain universe in popularity order.
+// The slice is shared; callers must not modify it.
+func Domains() []Domain { return domainTable }
+
+// DeadTop50 counts dead domains within the top 50, which the paper
+// reports as 14.
+func DeadTop50() int {
+	n := 0
+	for i, d := range domainTable {
+		if i >= 50 {
+			break
+		}
+		if d.Dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,322 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nvdclean/internal/cpe"
+	"nvdclean/internal/cve"
+	"nvdclean/internal/cwe"
+)
+
+// Generate synthesizes a full NVD snapshot plus its ground truth and the
+// vendor/product universe it was drawn from.
+func Generate(cfg Config) (*cve.Snapshot, *Truth, *Universe, error) {
+	if cfg.NumCVEs <= 0 || cfg.NumVendors <= 0 {
+		return nil, nil, nil, fmt.Errorf("gen: invalid config: %d CVEs, %d vendors", cfg.NumCVEs, cfg.NumVendors)
+	}
+	if cfg.FirstYear > cfg.LastYear {
+		return nil, nil, nil, fmt.Errorf("gen: year range %d-%d", cfg.FirstYear, cfg.LastYear)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	universe := NewUniverse(cfg, rng)
+	registry := cwe.NewRegistry()
+	table := buildCWETable(registry)
+	dates := newDateSampler(cfg, rng)
+	truth := newTruth()
+
+	// Record alias ground truth.
+	for _, v := range universe.Vendors {
+		for _, a := range v.Aliases {
+			truth.VendorCanonical[a.Name] = v.Name
+			truth.VendorPattern[a.Name] = a.Pattern
+		}
+		for _, p := range v.Products {
+			for _, alias := range p.Aliases {
+				truth.ProductCanonical[[2]string{v.Name, alias}] = p.Name
+			}
+		}
+	}
+
+	// Vendor sampling table.
+	vendorCum := make([]float64, len(universe.Vendors))
+	var acc float64
+	for i, v := range universe.Vendors {
+		acc += v.CVEWeight
+		vendorCum[i] = acc
+	}
+
+	snapshot := &cve.Snapshot{CapturedAt: cfg.CaptureDate}
+	counts := yearCounts(cfg)
+	years := make([]int, 0, len(counts))
+	for y := range counts {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+
+	g := &builder{
+		cfg: cfg, rng: rng, universe: universe, registry: registry,
+		table: table, dates: dates, truth: truth, vendorCum: vendorCum,
+	}
+	for _, year := range years {
+		for seq := 1; seq <= counts[year]; seq++ {
+			snapshot.Entries = append(snapshot.Entries, g.buildEntry(year, seq))
+		}
+	}
+	snapshot.Sort()
+	return snapshot, truth, universe, nil
+}
+
+// builder carries the immutable generation state.
+type builder struct {
+	cfg       Config
+	rng       *rand.Rand
+	universe  *Universe
+	registry  *cwe.Registry
+	table     *cweTable
+	dates     *dateSampler
+	truth     *Truth
+	vendorCum []float64
+}
+
+func (g *builder) buildEntry(year, seq int) *cve.Entry {
+	id := cve.FormatID(year, seq)
+	e := &cve.Entry{ID: id}
+
+	// Weakness type and severity.
+	trueCWE := g.table.sample(g.rng)
+	profile := g.table.profileOf(trueCWE)
+	v2 := sampleV2(profile, g.rng)
+	trueV3 := deriveV3(v2, profile, g.rng)
+	e.V2 = &v2
+	g.truth.TrueCWE[id] = trueCWE
+	g.truth.TrueV3[id] = trueV3
+	if g.hasV3Label(year) {
+		v3 := trueV3
+		e.V3 = &v3
+	}
+
+	// Dates.
+	disclosed := g.dates.sampleDisclosure(year)
+	published, _ := g.dates.samplePublished(disclosed, v2.Severity())
+	e.Published = published
+	e.LastModified = published.AddDate(0, 0, g.rng.Intn(200))
+	if e.LastModified.After(g.cfg.CaptureDate) {
+		e.LastModified = g.cfg.CaptureDate
+	}
+	g.truth.Disclosure[id] = disclosed
+
+	// Affected software.
+	vendor := g.sampleVendor()
+	version := sampleVersion(g.rng)
+	vendorName, product, productName := g.sampleNames(vendor)
+	e.CPEs = append(e.CPEs, cpe.NewName(cpe.PartApplication, vendorName, productName, version))
+	var extraCPEs int
+	switch r := g.rng.Float64(); {
+	case r < 0.10:
+		extraCPEs = 2
+	case r < 0.30:
+		extraCPEs = 1
+	}
+	for i := 0; i < extraCPEs; i++ {
+		other := vendor
+		if g.rng.Float64() < 0.3 {
+			other = g.sampleVendor()
+		}
+		vn, _, pn := g.sampleNames(other)
+		e.CPEs = append(e.CPEs, cpe.NewName(cpe.PartApplication, vn, pn, sampleVersion(g.rng)))
+	}
+
+	// CWE field quality mix. Untyped entries sometimes leak their true
+	// type in an evaluator comment; already-typed entries occasionally
+	// cite an additional related weakness (the paper's 2,456
+	// corrections include both).
+	r := g.rng.Float64()
+	var hintProb float64
+	hintCWE := trueCWE
+	switch {
+	case r < g.cfg.UntypedOtherRate:
+		e.CWEs = []cwe.ID{cwe.Other}
+		hintProb = g.cfg.EvaluatorHintRate
+	case r < g.cfg.UntypedOtherRate+g.cfg.UntypedNoInfoRate:
+		e.CWEs = []cwe.ID{cwe.NoInfo}
+		hintProb = 0.002
+	case r < g.cfg.UntypedOtherRate+g.cfg.UntypedNoInfoRate+g.cfg.UnassignedRate:
+		// No CWE field at all.
+		hintProb = 0.002
+	default:
+		e.CWEs = []cwe.ID{trueCWE}
+		hintProb = g.cfg.TypedHintRate
+		// A hint on a typed entry names a second relevant weakness.
+		for attempt := 0; attempt < 4; attempt++ {
+			if other := g.table.sample(g.rng); other != trueCWE {
+				hintCWE = other
+				break
+			}
+		}
+	}
+
+	// Descriptions. The primary text reflects the true weakness family;
+	// the optional evaluator comment leaks a CWE ID (§4.4).
+	typeName, _ := g.registry.Name(trueCWE)
+	e.Descriptions = []cve.Description{{
+		Value: renderDescription(profile.family, typeName, product.Name, version, g.rng),
+	}}
+	if g.rng.Float64() < hintProb && hintCWE != cwe.Unassigned {
+		name, _ := g.registry.Name(hintCWE)
+		e.Descriptions = append(e.Descriptions, cve.Description{
+			Source: "evaluator",
+			Value:  renderEvaluatorComment(hintCWE.String(), name),
+		})
+	}
+
+	// References.
+	e.References = g.sampleReferences(id)
+	return e
+}
+
+// hasV3Label decides whether the NVD record carries a v3 vector: all
+// recent entries do, with a shrinking retroactive share before
+// V3StartYear and only stray labels in the deep past (§5.2).
+func (g *builder) hasV3Label(year int) bool {
+	d := g.cfg.V3StartYear - year
+	switch {
+	case d <= 0:
+		return true
+	case d == 1:
+		return g.rng.Float64() < 0.65
+	case d == 2:
+		return g.rng.Float64() < 0.50
+	case d == 3:
+		return g.rng.Float64() < 0.35
+	default:
+		return g.rng.Float64() < 0.004
+	}
+}
+
+func (g *builder) sampleVendor() *Vendor {
+	r := g.rng.Float64() * g.vendorCum[len(g.vendorCum)-1]
+	i := sort.SearchFloat64s(g.vendorCum, r)
+	if i >= len(g.universe.Vendors) {
+		i = len(g.universe.Vendors) - 1
+	}
+	return g.universe.Vendors[i]
+}
+
+// sampleNames picks the vendor name (canonical or alias) and a product
+// (canonical or alias) for one CPE entry. Canonical names dominate, so
+// the paper's "most CVEs wins" consolidation rule recovers them.
+func (g *builder) sampleNames(v *Vendor) (vendorName string, product *Product, productName string) {
+	vendorName = v.Name
+	if len(v.Aliases) > 0 && g.rng.Float64() < 0.22 {
+		vendorName = v.Aliases[g.rng.Intn(len(v.Aliases))].Name
+	}
+	product = v.Products[g.rng.Intn(len(v.Products))]
+	productName = product.Name
+	if len(product.Aliases) > 0 && g.rng.Float64() < 0.30 {
+		productName = product.Aliases[g.rng.Intn(len(product.Aliases))]
+	}
+	return vendorName, product, productName
+}
+
+// sampleReferences attaches reference URLs. The first reference is the
+// primary advisory whose page carries the exact disclosure date; a
+// small share of CVEs get only dead-domain references (date
+// unrecoverable) or none at all, bounding the crawler's coverage as in
+// §6 ("Limitations").
+func (g *builder) sampleReferences(id string) []cve.Reference {
+	r := g.rng.Float64()
+	switch {
+	case r < 0.03:
+		return nil // no references
+	case r < 0.08:
+		// Only dead-domain references.
+		n := 1 + g.rng.Intn(2)
+		seen := make(map[string]bool, n)
+		refs := make([]cve.Reference, 0, n)
+		for i := 0; i < n; i++ {
+			u := refURL(g.sampleDomain(true), id)
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			refs = append(refs, cve.Reference{URL: u})
+		}
+		return refs
+	}
+	n := 1 + g.rng.Intn(6)
+	seen := make(map[string]bool, n)
+	refs := make([]cve.Reference, 0, n)
+	// Primary advisory on a live domain.
+	primary := refURL(g.sampleDomain(false), id)
+	seen[primary] = true
+	refs = append(refs, cve.Reference{URL: primary, Tags: []string{"Vendor Advisory"}})
+	for i := 1; i < n; i++ {
+		u := refURL(domainTable[g.sampleDomainIndex()], id)
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		refs = append(refs, cve.Reference{URL: u})
+	}
+	return refs
+}
+
+func (g *builder) sampleDomainIndex() int {
+	var total float64
+	for _, d := range domainTable {
+		total += d.weight
+	}
+	r := g.rng.Float64() * total
+	for i, d := range domainTable {
+		r -= d.weight
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(domainTable) - 1
+}
+
+// sampleDomain draws a domain, filtered to dead or live hosts.
+func (g *builder) sampleDomain(dead bool) Domain {
+	for {
+		d := domainTable[g.sampleDomainIndex()]
+		if d.Dead == dead {
+			return d
+		}
+	}
+}
+
+// refURL builds the reference URL for a CVE on a domain. The path shape
+// depends on the domain category, mirroring how real trackers,
+// advisories and archives structure their pages.
+func refURL(d Domain, id string) string {
+	switch d.Category {
+	case CategoryBugTracker:
+		return "https://" + d.Host + "/bug/" + id
+	case CategoryAdvisory:
+		return "https://" + d.Host + "/advisory/" + id
+	case CategoryMailArchive:
+		return "https://" + d.Host + "/archive/" + id
+	default:
+		return "https://" + d.Host + "/vuln/" + id
+	}
+}
+
+// RefPageDate is the date shown on the reference page for a CVE: the
+// primary advisory carries the exact disclosure date, while reposts lag
+// it by a deterministic URL-hash offset of up to 30 days. webcorpus
+// renders pages and tests verify crawls with the same function.
+func RefPageDate(url string, disclosed time.Time, primary bool) time.Time {
+	if primary {
+		return disclosed
+	}
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(url); i++ {
+		h ^= uint64(url[i])
+		h *= 1099511628211
+	}
+	return disclosed.AddDate(0, 0, int(h%31))
+}

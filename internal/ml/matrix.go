@@ -1,0 +1,157 @@
+// Package ml implements the classic machine-learning algorithms the
+// paper's §4.3–4.4 experiments use: linear regression, support-vector
+// regression (realized as RBF kernel ridge regression, see DESIGN.md),
+// and k-nearest-neighbor classification, together with the small dense
+// linear-algebra kernel they need. Everything is stdlib-only and
+// deterministic.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("ml: invalid matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("ml: empty matrix")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("ml: ragged row %d (%d cols, want %d)", i, len(r), m.Cols)
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// MulVec computes m·v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if len(v) != m.Cols {
+		return nil, fmt.Errorf("ml: MulVec dims %d != %d", len(v), m.Cols)
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// TransposeMul computes mᵀ·m (a Cols x Cols Gram matrix).
+func (m *Matrix) TransposeMul() *Matrix {
+	out := NewMatrix(m.Cols, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for a := 0; a < m.Cols; a++ {
+			ra := row[a]
+			if ra == 0 {
+				continue
+			}
+			dst := out.Data[a*m.Cols:]
+			for b := 0; b < m.Cols; b++ {
+				dst[b] += ra * row[b]
+			}
+		}
+	}
+	return out
+}
+
+// TransposeMulVec computes mᵀ·v for len(v) == Rows.
+func (m *Matrix) TransposeMulVec(v []float64) ([]float64, error) {
+	if len(v) != m.Rows {
+		return nil, fmt.Errorf("ml: TransposeMulVec dims %d != %d", len(v), m.Rows)
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, rv := range row {
+			out[j] += vi * rv
+		}
+	}
+	return out, nil
+}
+
+// SolveSPD solves A·x = b for symmetric positive-definite A using
+// Cholesky decomposition. A is overwritten with its factorization.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, errors.New("ml: SolveSPD needs a square matrix")
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("ml: SolveSPD rhs dim %d != %d", len(b), n)
+	}
+	// Cholesky: A = L·Lᵀ, stored in the lower triangle.
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			l := a.At(j, k)
+			d -= l * l
+		}
+		if d <= 0 {
+			return nil, errors.New("ml: matrix is not positive definite")
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s/d)
+		}
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a.At(i, k) * y[k]
+		}
+		y[i] = s / a.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= a.At(k, i) * x[k]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}

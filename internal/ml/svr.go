@@ -1,0 +1,153 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SVR is the paper's support-vector regression model (Table 5: RBF
+// kernel, kernel coefficient γ = 0.1, penalty C = 2). It is realized as
+// RBF kernel ridge regression — the same hypothesis space and kernel,
+// with the squared-error/ridge objective replacing the ε-insensitive
+// hinge so the fit is a deterministic linear solve (see DESIGN.md's
+// substitution table). The regularization strength is λ = 1/(2C).
+type SVR struct {
+	// Gamma is the RBF kernel coefficient (default 0.1, the paper's
+	// best-performing setting).
+	Gamma float64
+	// C is the penalty parameter (default 2).
+	C float64
+	// MaxSamples caps the number of kernel centers. Kernel methods are
+	// O(n²) memory and O(n³) solve time; when the training set exceeds
+	// the cap, a deterministic evenly-spaced subsample is used. Zero
+	// means the default of 2000.
+	MaxSamples int
+
+	centers [][]float64
+	alphas  []float64
+}
+
+// Fit trains the regressor.
+func (s *SVR) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 {
+		return errors.New("ml: no training rows")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d targets", len(x), len(y))
+	}
+	gamma := s.Gamma
+	if gamma <= 0 {
+		gamma = 0.1
+	}
+	c := s.C
+	if c <= 0 {
+		c = 2
+	}
+	maxN := s.MaxSamples
+	if maxN <= 0 {
+		maxN = 2000
+	}
+
+	// Deterministic evenly-spaced subsample keeps class coverage when the
+	// training data is shuffled (the trainer shuffles before splitting).
+	cx, cy := x, y
+	if len(x) > maxN {
+		cx = make([][]float64, 0, maxN)
+		cy = make([]float64, 0, maxN)
+		stride := float64(len(x)) / float64(maxN)
+		for i := 0; i < maxN; i++ {
+			idx := int(float64(i) * stride)
+			cx = append(cx, x[idx])
+			cy = append(cy, y[idx])
+		}
+	}
+
+	n := len(cx)
+	gram := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		gram.Set(i, i, 1+1/(2*c)) // k(x,x)=1 plus ridge term
+		for j := i + 1; j < n; j++ {
+			k := rbf(cx[i], cx[j], gamma)
+			gram.Set(i, j, k)
+			gram.Set(j, i, k)
+		}
+	}
+	alphas, err := SolveSPD(gram, cy)
+	if err != nil {
+		return err
+	}
+	s.centers = make([][]float64, n)
+	for i, row := range cx {
+		s.centers[i] = append([]float64(nil), row...)
+	}
+	s.alphas = alphas
+	s.Gamma = gamma
+	s.C = c
+	return nil
+}
+
+// Predict returns the fitted value for one feature row.
+func (s *SVR) Predict(row []float64) (float64, error) {
+	if s.alphas == nil {
+		return 0, errors.New("ml: model is not fitted")
+	}
+	if len(row) != len(s.centers[0]) {
+		return 0, fmt.Errorf("ml: feature dim %d, want %d", len(row), len(s.centers[0]))
+	}
+	var out float64
+	for i, c := range s.centers {
+		out += s.alphas[i] * rbf(row, c, s.Gamma)
+	}
+	return out, nil
+}
+
+// NumCenters returns the number of retained kernel centers.
+func (s *SVR) NumCenters() int { return len(s.centers) }
+
+// Centers returns a copy of the kernel centers.
+func (s *SVR) Centers() [][]float64 {
+	out := make([][]float64, len(s.centers))
+	for i, c := range s.centers {
+		out[i] = append([]float64(nil), c...)
+	}
+	return out
+}
+
+// Alphas returns a copy of the dual coefficients.
+func (s *SVR) Alphas() []float64 {
+	return append([]float64(nil), s.alphas...)
+}
+
+// SVRFromParameters reconstructs a fitted model from its kernel
+// parameters, centers and dual coefficients (the inverse of Centers and
+// Alphas).
+func SVRFromParameters(gamma, c float64, centers [][]float64, alphas []float64) (*SVR, error) {
+	if gamma <= 0 || c <= 0 {
+		return nil, errors.New("ml: gamma and C must be positive")
+	}
+	if len(centers) == 0 || len(centers) != len(alphas) {
+		return nil, fmt.Errorf("ml: %d centers but %d alphas", len(centers), len(alphas))
+	}
+	dim := len(centers[0])
+	s := &SVR{Gamma: gamma, C: c}
+	s.centers = make([][]float64, len(centers))
+	for i, ctr := range centers {
+		if len(ctr) != dim {
+			return nil, fmt.Errorf("ml: ragged center %d", i)
+		}
+		s.centers[i] = append([]float64(nil), ctr...)
+	}
+	s.alphas = append([]float64(nil), alphas...)
+	return s, nil
+}
+
+// rbf computes exp(-γ‖a-b‖²).
+func rbf(a, b []float64, gamma float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-gamma * d2)
+}

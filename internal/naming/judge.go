@@ -1,0 +1,82 @@
+package naming
+
+// Judge decides whether a candidate pair truly names the same entity —
+// the role the paper filled with manual investigation of "products,
+// developers, and associated organizations".
+type Judge interface {
+	// SameVendor reports whether the pair's two vendor names refer to
+	// the same vendor.
+	SameVendor(p *VendorPair) bool
+}
+
+// HeuristicJudge is the automated stand-in for manual vetting. Its rules
+// encode the confirmation rates the paper reports in Table 2:
+//
+//   - token-identical pairs were matches in 260/260 cases → always
+//     confirm;
+//   - with |LCS| ≥ 3, prefix pairs and shared-product pairs matched in
+//     over 90% of cases → confirm;
+//   - with |LCS| ≥ 3, product-as-vendor pairs matched in ~90% → confirm;
+//   - misspelling (edit-distance-1) pairs with |LCS| ≥ 3 → confirm;
+//   - abbreviations → confirm;
+//   - with |LCS| < 3 only a minority matched → require corroboration
+//     from at least two distinct patterns or ≥ 2 shared products.
+type HeuristicJudge struct{}
+
+// SameVendor implements Judge.
+func (HeuristicJudge) SameVendor(p *VendorPair) bool {
+	if p.HasPattern(PatternTokens) {
+		return true
+	}
+	if p.HasPattern(PatternAbbrev) {
+		return true
+	}
+	if p.LCS >= 3 {
+		switch {
+		case p.HasPattern(PatternPrefix),
+			p.HasPattern(PatternEdit),
+			p.HasPattern(PatternProductAsVendor):
+			return true
+		case p.HasPattern(PatternSharedProduct) && coversCatalog(p):
+			// A shared product plus an incidental 3-character overlap
+			// ("soft", "tech") is weak evidence; require the common
+			// substring to cover most of the shorter name.
+			return float64(p.LCS) >= 0.6*float64(minLen(p.A, p.B))
+		}
+		return false
+	}
+	// |LCS| < 3: weak string signal, demand strong corroboration.
+	if p.MatchingProducts >= 2 && coversCatalog(p) {
+		return true
+	}
+	return len(p.Patterns) >= 2
+}
+
+// coversCatalog reports whether the shared products are a significant
+// share of the smaller vendor's catalog. Two 1,500-product vendors
+// sharing six names is coincidence; an alias listing a handful of the
+// canonical vendor's products shares most of its own catalog.
+func coversCatalog(p *VendorPair) bool {
+	return p.MatchingProducts >= 1 && 2*p.MatchingProducts >= p.SmallerCatalog
+}
+
+func minLen(a, b string) int {
+	if len(a) < len(b) {
+		return len(a)
+	}
+	return len(b)
+}
+
+// OracleJudge confirms pairs against generator ground truth; the test
+// suite uses it to score HeuristicJudge and to reproduce the
+// "Confirmed" row of Table 2 exactly.
+type OracleJudge struct {
+	// Canonical maps alias names to canonical vendor names (identity
+	// for unmapped names).
+	Canonical func(string) string
+}
+
+// SameVendor implements Judge.
+func (o OracleJudge) SameVendor(p *VendorPair) bool {
+	return o.Canonical(p.A) == o.Canonical(p.B)
+}

@@ -1,0 +1,86 @@
+package naming
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The paper open-sources both the correction tools and the rectified
+// dataset; the consolidation maps are the reusable artifact in between
+// (§4.2 applies the NVD-derived vendor map to SecurityFocus and
+// SecurityTracker). This file gives both map types a stable JSON form.
+
+// mapJSON is the serialized vendor map: alias → canonical.
+type mapJSON struct {
+	Kind    string            `json:"kind"`
+	Vendors map[string]string `json:"vendors"`
+}
+
+// WriteJSON serializes the vendor map.
+func (m *Map) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(mapJSON{Kind: "vendor-map", Vendors: m.forward})
+}
+
+// ReadMapJSON loads a vendor map written by WriteJSON.
+func ReadMapJSON(r io.Reader) (*Map, error) {
+	var mj mapJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("naming: decoding vendor map: %w", err)
+	}
+	if mj.Kind != "vendor-map" {
+		return nil, fmt.Errorf("naming: unexpected kind %q", mj.Kind)
+	}
+	if mj.Vendors == nil {
+		mj.Vendors = map[string]string{}
+	}
+	for alias, canonical := range mj.Vendors {
+		if alias == "" || canonical == "" || alias == canonical {
+			return nil, fmt.Errorf("naming: invalid mapping %q -> %q", alias, canonical)
+		}
+	}
+	return &Map{forward: mj.Vendors}, nil
+}
+
+// productMapJSON flattens the (vendor, product) keys as
+// "vendor\tproduct" since JSON objects need string keys.
+type productMapJSON struct {
+	Kind     string            `json:"kind"`
+	Products map[string]string `json:"products"`
+}
+
+const productKeySep = "\t"
+
+// WriteJSON serializes the product map.
+func (m *ProductMap) WriteJSON(w io.Writer) error {
+	flat := make(map[string]string, len(m.forward))
+	for k, canonical := range m.forward {
+		flat[k[0]+productKeySep+k[1]] = canonical
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(productMapJSON{Kind: "product-map", Products: flat})
+}
+
+// ReadProductMapJSON loads a product map written by WriteJSON.
+func ReadProductMapJSON(r io.Reader) (*ProductMap, error) {
+	var pj productMapJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("naming: decoding product map: %w", err)
+	}
+	if pj.Kind != "product-map" {
+		return nil, fmt.Errorf("naming: unexpected kind %q", pj.Kind)
+	}
+	forward := make(map[[2]string]string, len(pj.Products))
+	for key, canonical := range pj.Products {
+		vendor, product, ok := strings.Cut(key, productKeySep)
+		if !ok || vendor == "" || product == "" || canonical == "" {
+			return nil, fmt.Errorf("naming: invalid product key %q", key)
+		}
+		forward[[2]string{vendor, product}] = canonical
+	}
+	return &ProductMap{forward: forward}, nil
+}

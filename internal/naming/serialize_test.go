@@ -1,0 +1,114 @@
+package naming
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVendorMapJSONRoundTrip(t *testing.T) {
+	orig := NewMap(map[string]string{
+		"microsft":    "microsoft",
+		"bea_systems": "bea",
+		"avast!":      "avast",
+	})
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMapJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("len = %d, want %d", back.Len(), orig.Len())
+	}
+	for alias, canonical := range orig.Entries() {
+		if got := back.Canonical(alias); got != canonical {
+			t.Errorf("Canonical(%q) = %q, want %q", alias, got, canonical)
+		}
+	}
+}
+
+func TestReadMapJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", "{"},
+		{"wrong kind", `{"kind":"product-map","vendors":{}}`},
+		{"self mapping", `{"kind":"vendor-map","vendors":{"a":"a"}}`},
+		{"empty alias", `{"kind":"vendor-map","vendors":{"":"x"}}`},
+		{"empty canonical", `{"kind":"vendor-map","vendors":{"x":""}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadMapJSON(strings.NewReader(tc.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	// Empty mapping is fine.
+	m, err := ReadMapJSON(strings.NewReader(`{"kind":"vendor-map"}`))
+	if err != nil || m.Len() != 0 {
+		t.Errorf("empty map: %v, %v", m, err)
+	}
+}
+
+func TestProductMapJSONRoundTrip(t *testing.T) {
+	snap := productSnapshot()
+	pa := AnalyzeProducts(snap)
+	orig := pa.Consolidate(HeuristicProductJudge{})
+	if orig.Len() == 0 {
+		t.Fatal("fixture produced empty product map")
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProductMapJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("len = %d, want %d", back.Len(), orig.Len())
+	}
+	for k, canonical := range orig.Entries() {
+		if got := back.Canonical(k[0], k[1]); got != canonical {
+			t.Errorf("Canonical(%q, %q) = %q, want %q", k[0], k[1], got, canonical)
+		}
+	}
+}
+
+func TestReadProductMapJSONErrors(t *testing.T) {
+	cases := []string{
+		"{",
+		`{"kind":"vendor-map","products":{}}`,
+		`{"kind":"product-map","products":{"nokey":"x"}}`,
+		`{"kind":"product-map","products":{"v\tp":""}}`,
+	}
+	for _, in := range cases {
+		if _, err := ReadProductMapJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestSerializedMapAppliesAcrossProcesses(t *testing.T) {
+	// Simulate the §4.2 cross-database workflow: consolidate on one
+	// snapshot, serialize, load elsewhere, apply to different strings.
+	snap := paperSnapshot()
+	va := AnalyzeVendors(snap)
+	m := va.Consolidate(HeuristicJudge{})
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadMapJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Canonical("microsft"); got != "microsoft" {
+		t.Errorf("loaded map Canonical(microsft) = %q", got)
+	}
+}

@@ -1,0 +1,98 @@
+package naming
+
+// Table2Cell is one cell of the paper's Table 2: the number of unique
+// vendor pairs matching a pattern, and the number of names involved.
+type Table2Cell struct {
+	Pairs int
+	Names int
+}
+
+// Table2Row is one row (Possible or Confirmed) of Table 2, split by the
+// |LCS| >= 3 signifier.
+type Table2Row struct {
+	// Tokens counts pairs identical except special characters.
+	Tokens Table2Cell
+	// LCSGE3 buckets pairs with longest common substring >= 3.
+	LCSGE3 Table2Bucket
+	// LCSLT3 buckets pairs with longest common substring < 3.
+	LCSLT3 Table2Bucket
+}
+
+// Table2Bucket is the per-LCS-band pattern breakdown.
+type Table2Bucket struct {
+	MP0, MP1, MPMany Table2Cell // #MP = 0, = 1, > 1
+	Pref, PaV        Table2Cell
+}
+
+// Table2 is the full statistic: Possible (all candidates) vs Confirmed
+// (judge-accepted).
+type Table2 struct {
+	Possible, Confirmed Table2Row
+}
+
+// BuildTable2 classifies the analysis's candidate pairs into the paper's
+// pattern taxonomy, judging each with judge for the Confirmed row.
+// Table 2's note 4 applies: pairs with no shared-substring signal, no
+// prefix relation, and no matching products are not counted.
+func BuildTable2(va *VendorAnalysis, judge Judge) *Table2 {
+	t := &Table2{}
+	for i := range va.Pairs {
+		vp := &va.Pairs[i]
+		confirmed := judge.SameVendor(vp)
+		classify(&t.Possible, vp)
+		if confirmed {
+			classify(&t.Confirmed, vp)
+		}
+	}
+	return t
+}
+
+func classify(row *Table2Row, vp *VendorPair) {
+	if vp.HasPattern(PatternTokens) {
+		row.Tokens.add(vp)
+		return
+	}
+	bucket := &row.LCSGE3
+	if vp.LCS < 3 {
+		bucket = &row.LCSLT3
+	}
+	switch {
+	case vp.HasPattern(PatternPrefix):
+		bucket.Pref.add(vp)
+	case vp.HasPattern(PatternProductAsVendor):
+		bucket.PaV.add(vp)
+	default:
+		switch {
+		case vp.MatchingProducts == 0:
+			bucket.MP0.add(vp)
+		case vp.MatchingProducts == 1:
+			bucket.MP1.add(vp)
+		default:
+			bucket.MPMany.add(vp)
+		}
+	}
+}
+
+func (c *Table2Cell) add(vp *VendorPair) {
+	c.Pairs++
+	c.Names += 2
+}
+
+// TotalPairs sums a row's pair counts.
+func (r *Table2Row) TotalPairs() int {
+	return r.Tokens.Pairs +
+		r.LCSGE3.MP0.Pairs + r.LCSGE3.MP1.Pairs + r.LCSGE3.MPMany.Pairs +
+		r.LCSGE3.Pref.Pairs + r.LCSGE3.PaV.Pairs +
+		r.LCSLT3.MP0.Pairs + r.LCSLT3.MP1.Pairs + r.LCSLT3.MPMany.Pairs +
+		r.LCSLT3.Pref.Pairs + r.LCSLT3.PaV.Pairs
+}
+
+// ConfirmRate returns the confirmed/possible pair ratio, the signal
+// strength the paper reports per pattern.
+func (t *Table2) ConfirmRate() float64 {
+	p := t.Possible.TotalPairs()
+	if p == 0 {
+		return 0
+	}
+	return float64(t.Confirmed.TotalPairs()) / float64(p)
+}

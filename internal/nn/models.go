@@ -1,0 +1,62 @@
+package nn
+
+import "math/rand"
+
+// PaperDNN builds the paper's DNN: four fully connected layers of sizes
+// 128, 128, 256, 256 with ReLU activations, followed by a single sigmoid
+// output neuron (§4.3). Targets must be scaled to (0, 1).
+func PaperDNN(inSize int, seed int64) (*Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	return NewNetwork(inSize,
+		NewDense(inSize, 128, rng), &ReLU{},
+		NewDense(128, 128, rng), &ReLU{},
+		NewDense(128, 256, rng), &ReLU{},
+		NewDense(256, 256, rng), &ReLU{},
+		NewDense(256, 1, rng), &Sigmoid{},
+	)
+}
+
+// PaperCNN builds the paper's CNN adapted to 1-D input: four
+// convolutional layers (64, 64, 128, 128 filters, kernel size 3) over
+// the feature sequence, a flattening step (implicit in the vector
+// layout), a 512-neuron fully connected layer, and a sigmoid output
+// neuron (§4.3).
+func PaperCNN(inSize int, seed int64) (*Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	return NewNetwork(inSize,
+		NewConv1D(1, 64, 3, inSize, rng), &ReLU{},
+		NewConv1D(64, 64, 3, inSize, rng), &ReLU{},
+		NewConv1D(64, 128, 3, inSize, rng), &ReLU{},
+		NewConv1D(128, 128, 3, inSize, rng), &ReLU{},
+		NewDense(128*inSize, 512, rng), &ReLU{},
+		NewDense(512, 1, rng), &Sigmoid{},
+	)
+}
+
+// CompactDNN is a narrower variant of PaperDNN (32, 32, 64, 64) for
+// fast test and CI runs; same depth and activations.
+func CompactDNN(inSize int, seed int64) (*Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	return NewNetwork(inSize,
+		NewDense(inSize, 32, rng), &ReLU{},
+		NewDense(32, 32, rng), &ReLU{},
+		NewDense(32, 64, rng), &ReLU{},
+		NewDense(64, 64, rng), &ReLU{},
+		NewDense(64, 1, rng), &Sigmoid{},
+	)
+}
+
+// CompactCNN is a narrower variant of PaperCNN (8, 8, 16, 16 filters,
+// 64-neuron head) for fast test and CI runs; same depth, kernel size,
+// and activations.
+func CompactCNN(inSize int, seed int64) (*Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	return NewNetwork(inSize,
+		NewConv1D(1, 8, 3, inSize, rng), &ReLU{},
+		NewConv1D(8, 8, 3, inSize, rng), &ReLU{},
+		NewConv1D(8, 16, 3, inSize, rng), &ReLU{},
+		NewConv1D(16, 16, 3, inSize, rng), &ReLU{},
+		NewDense(16*inSize, 64, rng), &ReLU{},
+		NewDense(64, 1, rng), &Sigmoid{},
+	)
+}

@@ -1,0 +1,349 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(2, 1, rng)
+	copy(d.weight.W, []float64{2, -1})
+	d.bias.W[0] = 0.5
+	out := d.Forward([]float64{3, 4})
+	if math.Abs(out[0]-(2*3-4+0.5)) > 1e-12 {
+		t.Errorf("Forward = %v, want 2.5", out[0])
+	}
+}
+
+func TestDenseBackwardGradCheck(t *testing.T) {
+	// Numerical gradient check on a 3->2 dense layer.
+	rng := rand.New(rand.NewSource(7))
+	d := NewDense(3, 2, rng)
+	x := []float64{0.5, -1.2, 2.0}
+	loss := func() float64 {
+		out := d.Forward(x)
+		return out[0]*out[0] + 2*out[1]
+	}
+	base0 := d.Forward(x)
+	grad := []float64{2 * base0[0], 2}
+	clear(d.weight.G)
+	clear(d.bias.G)
+	gin := d.Backward(grad)
+
+	const eps = 1e-6
+	for i := range d.weight.W {
+		orig := d.weight.W[i]
+		d.weight.W[i] = orig + eps
+		up := loss()
+		d.weight.W[i] = orig - eps
+		down := loss()
+		d.weight.W[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-d.weight.G[i]) > 1e-4 {
+			t.Errorf("weight grad %d: analytic %v numeric %v", i, d.weight.G[i], num)
+		}
+	}
+	// Input gradient check.
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		up := loss()
+		x[i] = orig - eps
+		down := loss()
+		x[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-gin[i]) > 1e-4 {
+			t.Errorf("input grad %d: analytic %v numeric %v", i, gin[i], num)
+		}
+	}
+}
+
+func TestConv1DGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := NewConv1D(2, 3, 3, 5, rng)
+	x := make([]float64, 2*5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	loss := func() float64 {
+		out := c.Forward(x)
+		var s float64
+		for _, v := range out {
+			s += v * v
+		}
+		return s
+	}
+	out := c.Forward(x)
+	grad := make([]float64, len(out))
+	for i, v := range out {
+		grad[i] = 2 * v
+	}
+	clear(c.weight.G)
+	clear(c.bias.G)
+	gin := c.Backward(grad)
+
+	const eps = 1e-6
+	for i := range c.weight.W {
+		orig := c.weight.W[i]
+		c.weight.W[i] = orig + eps
+		up := loss()
+		c.weight.W[i] = orig - eps
+		down := loss()
+		c.weight.W[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-c.weight.G[i]) > 1e-3 {
+			t.Fatalf("conv weight grad %d: analytic %v numeric %v", i, c.weight.G[i], num)
+		}
+	}
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		up := loss()
+		x[i] = orig - eps
+		down := loss()
+		x[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-gin[i]) > 1e-3 {
+			t.Fatalf("conv input grad %d: analytic %v numeric %v", i, gin[i], num)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	var r ReLU
+	out := r.Forward([]float64{-1, 0, 2})
+	if out[0] != 0 || out[1] != 0 || out[2] != 2 {
+		t.Errorf("ReLU forward = %v", out)
+	}
+	gin := r.Backward([]float64{5, 5, 5})
+	if gin[0] != 0 || gin[1] != 0 || gin[2] != 5 {
+		t.Errorf("ReLU backward = %v", gin)
+	}
+	if r.Params() != nil {
+		t.Error("ReLU has no params")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	var s Sigmoid
+	out := s.Forward([]float64{0, 100, -100})
+	if math.Abs(out[0]-0.5) > 1e-12 {
+		t.Errorf("sigmoid(0) = %v", out[0])
+	}
+	if out[1] < 0.999 || out[2] > 0.001 {
+		t.Errorf("saturation wrong: %v", out)
+	}
+	gin := s.Backward([]float64{1, 1, 1})
+	if math.Abs(gin[0]-0.25) > 1e-12 {
+		t.Errorf("sigmoid'(0) = %v, want 0.25", gin[0])
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewNetwork(3); err == nil {
+		t.Error("empty network should fail")
+	}
+	if _, err := NewNetwork(3, NewDense(4, 2, rng)); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	if _, err := NewNetwork(3, NewDense(3, 2, rng), NewDense(3, 1, rng)); err == nil {
+		t.Error("inter-layer mismatch should fail")
+	}
+	if _, err := NewNetwork(6, NewConv1D(2, 4, 3, 3, rng), NewDense(12, 1, rng)); err != nil {
+		t.Errorf("valid conv stack rejected: %v", err)
+	}
+}
+
+func TestTrainLearnsLinearFunction(t *testing.T) {
+	// y = 0.3a + 0.5b (targets within sigmoid range).
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x = append(x, []float64{a, b})
+		y = append(y, 0.3*a+0.5*b)
+	}
+	net, err := NewNetwork(2,
+		NewDense(2, 16, rng), &ReLU{},
+		NewDense(16, 1, rng), &Sigmoid{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Train(x, y, TrainConfig{Epochs: 200, BatchSize: 16, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, row := range x {
+		sum += math.Abs(net.Predict(row) - y[i])
+	}
+	if mean := sum / float64(len(x)); mean > 0.03 {
+		t.Errorf("mean training error %v, want < 0.03", mean)
+	}
+}
+
+func TestTrainLearnsNonlinearXor(t *testing.T) {
+	// Scaled XOR: unlearnable by a linear model, requires the hidden
+	// layer to be doing real work.
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []float64{0.1, 0.9, 0.9, 0.1}
+	rng := rand.New(rand.NewSource(5))
+	net, err := NewNetwork(2,
+		NewDense(2, 8, rng), &ReLU{},
+		NewDense(8, 1, rng), &Sigmoid{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Train(x, y, TrainConfig{Epochs: 2000, BatchSize: 4, LearningRate: 0.01, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range x {
+		if diff := math.Abs(net.Predict(row) - y[i]); diff > 0.15 {
+			t.Errorf("xor(%v) = %v, want %v", row, net.Predict(row), y[i])
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net, _ := NewNetwork(1, NewDense(1, 1, rng))
+	if err := net.Train(nil, nil, TrainConfig{}); err == nil {
+		t.Error("empty training should fail")
+	}
+	if err := net.Train([][]float64{{1}}, []float64{1, 2}, TrainConfig{}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	build := func() float64 {
+		rng := rand.New(rand.NewSource(3))
+		var x [][]float64
+		var y []float64
+		for i := 0; i < 50; i++ {
+			a := rng.Float64()
+			x = append(x, []float64{a})
+			y = append(y, 0.5*a)
+		}
+		net, err := NewNetwork(1, NewDense(1, 4, rng), &ReLU{}, NewDense(4, 1, rng), &Sigmoid{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Train(x, y, TrainConfig{Epochs: 10, Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+		return net.Predict([]float64{0.7})
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("training is not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestOnEpochCallbackAndLossDecreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		a := rng.Float64()
+		x = append(x, []float64{a})
+		y = append(y, 0.2+0.6*a)
+	}
+	net, _ := NewNetwork(1, NewDense(1, 8, rng), &ReLU{}, NewDense(8, 1, rng), &Sigmoid{})
+	var losses []float64
+	err := net.Train(x, y, TrainConfig{Epochs: 30, Seed: 4, OnEpoch: func(_ int, l float64) {
+		losses = append(losses, l)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 30 {
+		t.Fatalf("epochs seen = %d", len(losses))
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Errorf("loss did not decrease: first %v last %v", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestPaperModelsBuild(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func(int, int64) (*Network, error)
+	}{
+		{"PaperDNN", PaperDNN},
+		{"PaperCNN", PaperCNN},
+		{"CompactDNN", CompactDNN},
+		{"CompactCNN", CompactCNN},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net, err := tc.build(13, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := net.Forward(make([]float64, 13))
+			if len(out) != 1 {
+				t.Fatalf("output size = %d", len(out))
+			}
+			if out[0] <= 0 || out[0] >= 1 {
+				t.Errorf("sigmoid output %v outside (0,1)", out[0])
+			}
+		})
+	}
+}
+
+func TestMSE(t *testing.T) {
+	if got := MSE([]float64{1, 2}, []float64{1, 4}); got != 2 {
+		t.Errorf("MSE = %v, want 2", got)
+	}
+	if !math.IsNaN(MSE(nil, nil)) {
+		t.Error("empty MSE should be NaN")
+	}
+	if !math.IsNaN(MSE([]float64{1}, []float64{1, 2})) {
+		t.Error("mismatched MSE should be NaN")
+	}
+}
+
+func BenchmarkCompactCNNForward(b *testing.B) {
+	net, err := CompactCNN(13, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 13)
+	for i := range x {
+		x[i] = float64(i) / 13
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+func BenchmarkCompactDNNTrainEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 256; i++ {
+		row := make([]float64, 13)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x = append(x, row)
+		y = append(y, rng.Float64())
+	}
+	net, err := CompactDNN(13, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Train(x, y, TrainConfig{Epochs: 1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

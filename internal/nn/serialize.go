@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Network serialization: a trained network round-trips through a typed
+// JSON layer list, so the severity engine can be trained once and
+// shipped (the paper proposes NVD run its prediction engine as a
+// service; that requires persistable models).
+
+type layerJSON struct {
+	Kind string `json:"kind"`
+	// Dense fields.
+	In     int       `json:"in,omitempty"`
+	Out    int       `json:"out,omitempty"`
+	Weight []float64 `json:"weight,omitempty"`
+	Bias   []float64 `json:"bias,omitempty"`
+	// Conv1D fields.
+	InChannels  int `json:"in_channels,omitempty"`
+	OutChannels int `json:"out_channels,omitempty"`
+	Kernel      int `json:"kernel,omitempty"`
+	Length      int `json:"length,omitempty"`
+}
+
+type networkJSON struct {
+	Kind   string      `json:"kind"`
+	Layers []layerJSON `json:"layers"`
+}
+
+// Save writes the network's architecture and weights.
+func (n *Network) Save(w io.Writer) error {
+	nj := networkJSON{Kind: "nn-network"}
+	for i, l := range n.layers {
+		var lj layerJSON
+		switch v := l.(type) {
+		case *Dense:
+			lj = layerJSON{
+				Kind: "dense", In: v.In, Out: v.Out,
+				Weight: v.weight.W, Bias: v.bias.W,
+			}
+		case *Conv1D:
+			lj = layerJSON{
+				Kind:        "conv1d",
+				InChannels:  v.InChannels,
+				OutChannels: v.OutChannels,
+				Kernel:      v.Kernel,
+				Length:      v.Length,
+				Weight:      v.weight.W,
+				Bias:        v.bias.W,
+			}
+		case *ReLU:
+			lj = layerJSON{Kind: "relu"}
+		case *Sigmoid:
+			lj = layerJSON{Kind: "sigmoid"}
+		default:
+			return fmt.Errorf("nn: cannot serialize layer %d (%T)", i, l)
+		}
+		nj.Layers = append(nj.Layers, lj)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&nj)
+}
+
+// Load reads a network written by Save. The Adam state is not
+// persisted; continued training restarts the optimizer moments.
+func Load(r io.Reader) (*Network, error) {
+	var nj networkJSON
+	if err := json.NewDecoder(r).Decode(&nj); err != nil {
+		return nil, fmt.Errorf("nn: decoding network: %w", err)
+	}
+	if nj.Kind != "nn-network" {
+		return nil, fmt.Errorf("nn: unexpected kind %q", nj.Kind)
+	}
+	if len(nj.Layers) == 0 {
+		return nil, fmt.Errorf("nn: network has no layers")
+	}
+	net := &Network{}
+	for i, lj := range nj.Layers {
+		switch lj.Kind {
+		case "dense":
+			if lj.In <= 0 || lj.Out <= 0 ||
+				len(lj.Weight) != lj.In*lj.Out || len(lj.Bias) != lj.Out {
+				return nil, fmt.Errorf("nn: layer %d: inconsistent dense shape", i)
+			}
+			d := &Dense{In: lj.In, Out: lj.Out,
+				weight: newParam(lj.In * lj.Out), bias: newParam(lj.Out)}
+			copy(d.weight.W, lj.Weight)
+			copy(d.bias.W, lj.Bias)
+			net.layers = append(net.layers, d)
+		case "conv1d":
+			wantW := lj.InChannels * lj.OutChannels * lj.Kernel
+			if lj.InChannels <= 0 || lj.OutChannels <= 0 || lj.Kernel <= 0 || lj.Length <= 0 ||
+				len(lj.Weight) != wantW || len(lj.Bias) != lj.OutChannels {
+				return nil, fmt.Errorf("nn: layer %d: inconsistent conv shape", i)
+			}
+			c := &Conv1D{
+				InChannels: lj.InChannels, OutChannels: lj.OutChannels,
+				Kernel: lj.Kernel, Length: lj.Length,
+				weight: newParam(wantW), bias: newParam(lj.OutChannels),
+			}
+			copy(c.weight.W, lj.Weight)
+			copy(c.bias.W, lj.Bias)
+			net.layers = append(net.layers, c)
+		case "relu":
+			net.layers = append(net.layers, &ReLU{})
+		case "sigmoid":
+			net.layers = append(net.layers, &Sigmoid{})
+		default:
+			return nil, fmt.Errorf("nn: layer %d: unknown kind %q", i, lj.Kind)
+		}
+	}
+	return net, nil
+}

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNetworkSaveLoadRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func(int, int64) (*Network, error)
+	}{
+		{"dnn", CompactDNN},
+		{"cnn", CompactCNN},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net, err := tc.build(13, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Train briefly so the weights are non-initial.
+			rng := rand.New(rand.NewSource(1))
+			var x [][]float64
+			var y []float64
+			for i := 0; i < 40; i++ {
+				row := make([]float64, 13)
+				for j := range row {
+					row[j] = rng.Float64()
+				}
+				x = append(x, row)
+				y = append(y, rng.Float64())
+			}
+			if err := net.Train(x, y, TrainConfig{Epochs: 3, Seed: 2}); err != nil {
+				t.Fatal(err)
+			}
+
+			var buf bytes.Buffer
+			if err := net.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range x {
+				if got, want := back.Predict(row), net.Predict(row); got != want {
+					t.Fatalf("prediction changed after round trip: %v != %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadedNetworkCanContinueTraining(t *testing.T) {
+	net, err := CompactDNN(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := [][]float64{{0.1, 0.2, 0.3, 0.4}, {0.5, 0.6, 0.7, 0.8}}
+	y := []float64{0.3, 0.7}
+	if err := back.Train(x, y, TrainConfig{Epochs: 5, Seed: 1}); err != nil {
+		t.Fatalf("continued training failed: %v", err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", "{"},
+		{"wrong kind", `{"kind":"other","layers":[{"kind":"relu"}]}`},
+		{"no layers", `{"kind":"nn-network","layers":[]}`},
+		{"unknown layer", `{"kind":"nn-network","layers":[{"kind":"pool"}]}`},
+		{"dense shape", `{"kind":"nn-network","layers":[{"kind":"dense","in":2,"out":1,"weight":[1],"bias":[0]}]}`},
+		{"conv shape", `{"kind":"nn-network","layers":[{"kind":"conv1d","in_channels":1,"out_channels":1,"kernel":3,"length":4,"weight":[1],"bias":[0]}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(tc.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

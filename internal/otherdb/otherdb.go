@@ -1,0 +1,173 @@
+// Package otherdb simulates the two additional vulnerability databases
+// of Table 3 — SecurityFocus (SF) and SecurityTracker (ST). The paper
+// applies its NVD-derived vendor map to their vendor strings and finds
+// 8% and 3% of names inconsistent respectively; we synthesize vendor
+// tables from the same vendor universe with independently injected
+// inconsistencies at those rates, so the cross-database application of
+// the map is exercised mechanically.
+package otherdb
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"nvdclean/internal/gen"
+	"nvdclean/internal/naming"
+)
+
+// Kind selects the simulated database.
+type Kind int
+
+// The two Table 3 databases.
+const (
+	SecurityFocus Kind = iota + 1
+	SecurityTracker
+)
+
+// String returns the paper's abbreviation.
+func (k Kind) String() string {
+	switch k {
+	case SecurityFocus:
+		return "SF"
+	case SecurityTracker:
+		return "ST"
+	default:
+		return "?"
+	}
+}
+
+// Database is a simulated third-party vulnerability database's vendor
+// dimension: a list of vendor names as that database spells them.
+type Database struct {
+	Kind Kind
+	// Vendors are the distinct vendor names, sorted.
+	Vendors []string
+	// truth maps each inconsistent name to its canonical form.
+	truth map[string]string
+}
+
+// Config scales a simulated database.
+type Config struct {
+	Kind Kind
+	// CoverageRate is the fraction of the NVD vendor universe the
+	// database tracks. SecurityFocus is larger than the NVD's vendor
+	// list (24.8K names), SecurityTracker much smaller (4.2K).
+	CoverageRate float64
+	// InconsistencyRate is the fraction of names that are inconsistent
+	// variants (paper: SF 8%, ST 3%).
+	InconsistencyRate float64
+	// Seed drives the injection; keep it different from the NVD
+	// generator seed so the variants differ.
+	Seed int64
+}
+
+// DefaultSF returns the SecurityFocus configuration.
+func DefaultSF() Config {
+	return Config{Kind: SecurityFocus, CoverageRate: 1.0, InconsistencyRate: 0.08, Seed: 101}
+}
+
+// DefaultST returns the SecurityTracker configuration.
+func DefaultST() Config {
+	return Config{Kind: SecurityTracker, CoverageRate: 0.22, InconsistencyRate: 0.03, Seed: 202}
+}
+
+// Build derives a database from the NVD vendor universe.
+func Build(u *gen.Universe, cfg Config) *Database {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := &Database{Kind: cfg.Kind, truth: make(map[string]string)}
+	for _, v := range u.Vendors {
+		if rng.Float64() >= cfg.CoverageRate {
+			continue
+		}
+		db.Vendors = append(db.Vendors, v.Name)
+		// Reuse the NVD's injected aliases sometimes (the same wrong
+		// spellings propagate across databases)...
+		for _, a := range v.Aliases {
+			if rng.Float64() < cfg.InconsistencyRate*5 {
+				db.Vendors = append(db.Vendors, a.Name)
+				db.truth[a.Name] = v.Name
+			}
+		}
+		// ...and mint database-specific variants at the configured rate.
+		if rng.Float64() < cfg.InconsistencyRate {
+			if alias := localVariant(v.Name, rng); alias != "" && alias != v.Name {
+				db.Vendors = append(db.Vendors, alias)
+				db.truth[alias] = v.Name
+			}
+		}
+	}
+	sort.Strings(db.Vendors)
+	db.Vendors = dedupe(db.Vendors)
+	return db
+}
+
+// localVariant spells a vendor name the way a different database's
+// analysts might.
+func localVariant(name string, rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		if strings.Contains(name, "_") {
+			return strings.ReplaceAll(name, "_", " ")
+		}
+		return name + "_corp"
+	case 1:
+		return strings.ToUpper(name[:1]) + name[1:]
+	default:
+		if len(name) > 5 {
+			return name[:len(name)-1]
+		}
+		return ""
+	}
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Stats is one row of Table 3 for a third-party database.
+type Stats struct {
+	Kind Kind
+	// Names is the number of distinct vendor names.
+	Names int
+	// Impacted is the number of names the map flags as inconsistent.
+	Impacted int
+	// Consolidated is the number of consistent names the impacted ones
+	// map onto.
+	Consolidated int
+}
+
+// ApplyVendorMap applies an NVD-derived vendor consolidation map to the
+// database's names, as §4.2 does, returning the Table 3 row. Case is
+// folded first because third-party databases capitalize differently.
+func (db *Database) ApplyVendorMap(m *naming.Map) Stats {
+	st := Stats{Kind: db.Kind, Names: len(db.Vendors)}
+	targets := make(map[string]struct{})
+	for _, name := range db.Vendors {
+		folded := strings.ToLower(name)
+		if m.Mapped(folded) {
+			st.Impacted++
+			targets[m.Canonical(folded)] = struct{}{}
+		}
+	}
+	st.Consolidated = len(targets)
+	return st
+}
+
+// TrueInconsistent returns the number of injected inconsistent names —
+// the denominator ground truth for evaluating the map's coverage.
+func (db *Database) TrueInconsistent() int { return len(db.truth) }
+
+// TruthCanonical resolves a name against the injected ground truth.
+func (db *Database) TruthCanonical(name string) string {
+	if c, ok := db.truth[name]; ok {
+		return c
+	}
+	return name
+}

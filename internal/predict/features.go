@@ -1,0 +1,163 @@
+// Package predict implements the paper's two learning systems: the
+// CVSS v2→v3 severity backporting engine of §4.3 (linear regression,
+// SVR, CNN and DNN over 13 v2-derived features, choosing the best model
+// and assigning v3 scores to every v2-only CVE) and the description→CWE
+// type classifier of §4.4 (k-NN over sentence embeddings), together
+// with the regex-based CWE field correction.
+package predict
+
+import (
+	"nvdclean/internal/cvss"
+	"nvdclean/internal/cwe"
+)
+
+// NumFeatures is the dimensionality of the v2 feature vector; the paper
+// reduces "the 13-dimensional feature vector" in its Fig 5 PCA.
+const NumFeatures = 13
+
+// CWEEncoder target-encodes the CWE-ID feature: each weakness type maps
+// to the mean v3−v2 score delta observed on the *training* split, so
+// the models receive the type's severity-uplift propensity as a single
+// continuous feature (the 13th). Unseen types fall back to the global
+// mean. This is the standard way to feed a high-cardinality categorical
+// to regression models while keeping the paper's 13-feature layout.
+type CWEEncoder struct {
+	value  map[cwe.ID]float64
+	global float64
+}
+
+// NeutralCWEEncoder returns an encoder mapping every type to 0.5, for
+// contexts with no training data.
+func NeutralCWEEncoder() *CWEEncoder {
+	return &CWEEncoder{value: map[cwe.ID]float64{}, global: 0.5}
+}
+
+// FitCWEEncoder learns the per-type uplift from (CWE, v2 score, v3
+// score) training triples.
+func FitCWEEncoder(ids []cwe.ID, v2Scores, v3Scores []float64) *CWEEncoder {
+	sum := make(map[cwe.ID]float64)
+	n := make(map[cwe.ID]int)
+	var gSum float64
+	for i, id := range ids {
+		d := v3Scores[i] - v2Scores[i]
+		sum[id] += d
+		n[id]++
+		gSum += d
+	}
+	enc := &CWEEncoder{value: make(map[cwe.ID]float64, len(sum))}
+	if len(ids) > 0 {
+		enc.global = normalizeDelta(gSum / float64(len(ids)))
+	} else {
+		enc.global = 0.5
+	}
+	for id, s := range sum {
+		enc.value[id] = normalizeDelta(s / float64(n[id]))
+	}
+	return enc
+}
+
+// normalizeDelta maps score deltas (≈ −3..+5) into [0, 1].
+func normalizeDelta(d float64) float64 {
+	v := (d + 3) / 8
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Encode returns the uplift feature for a type.
+func (e *CWEEncoder) Encode(id cwe.ID) float64 {
+	if v, ok := e.value[id]; ok {
+		return v
+	}
+	return e.global
+}
+
+// Features encodes a v2 vector plus the CWE type into the paper's §4.3
+// feature set: "access vector and complexity, authentication,
+// integrity, availability, all privilege, user privilege, and other
+// privilege flags", the confidentiality impact and cumulative base
+// score the paper found important, and the CWE-ID (added per Holm &
+// Afridi), target-encoded by enc.
+func (e *CWEEncoder) Features(v2 cvss.VectorV2, id cwe.ID) []float64 {
+	f := rawFeatures(v2)
+	f[12] = e.Encode(id)
+	return f
+}
+
+// rawFeatures fills the 12 v2-derived feature slots, leaving the CWE
+// slot zero.
+func rawFeatures(v2 cvss.VectorV2) []float64 {
+	f := make([]float64, NumFeatures)
+	// Metric weights normalized to [0, 1].
+	f[0] = weightAV(v2.AccessVector)
+	f[1] = weightAC(v2.AccessComplexity)
+	f[2] = weightAu(v2.Authentication)
+	f[3] = weightImpact(v2.Confidentiality)
+	f[4] = weightImpact(v2.Integrity)
+	f[5] = weightImpact(v2.Availability)
+	// Aggregate subscores.
+	f[6] = v2.BaseScore() / 10
+	f[7] = v2.Impact() / 10.41
+	f[8] = v2.Exploitability() / 20
+	// Privilege flags.
+	if v2.Confidentiality == cvss.ImpactComplete && v2.Integrity == cvss.ImpactComplete &&
+		v2.Availability == cvss.ImpactComplete {
+		f[9] = 1 // all privileges (complete compromise)
+	}
+	if v2.Confidentiality == cvss.ImpactPartial || v2.Integrity == cvss.ImpactPartial ||
+		v2.Availability == cvss.ImpactPartial {
+		f[10] = 1 // user-level privileges (partial impact)
+	}
+	if v2.Impact() == 0 {
+		f[11] = 1 // other: no direct impact
+	}
+	return f
+}
+
+func weightAV(v cvss.AccessVectorV2) float64 {
+	switch v {
+	case cvss.AccessLocal:
+		return 0.395
+	case cvss.AccessAdjacent:
+		return 0.646
+	default:
+		return 1.0
+	}
+}
+
+func weightAC(v cvss.AccessComplexityV2) float64 {
+	switch v {
+	case cvss.ComplexityHigh:
+		return 0.35
+	case cvss.ComplexityMedium:
+		return 0.61
+	default:
+		return 0.71
+	}
+}
+
+func weightAu(v cvss.AuthenticationV2) float64 {
+	switch v {
+	case cvss.AuthMultiple:
+		return 0.45
+	case cvss.AuthSingle:
+		return 0.56
+	default:
+		return 0.704
+	}
+}
+
+func weightImpact(v cvss.ImpactV2) float64 {
+	switch v {
+	case cvss.ImpactNone:
+		return 0
+	case cvss.ImpactPartial:
+		return 0.275
+	default:
+		return 0.66
+	}
+}

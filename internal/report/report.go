@@ -1,0 +1,428 @@
+// Package report renders every table and figure of the paper as
+// aligned plain text, consuming the outputs of the analysis, naming,
+// predict and crawler packages. cmd/nvdreport and the benchmark harness
+// print these to reproduce the evaluation section.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"nvdclean/internal/analysis"
+	"nvdclean/internal/cvss"
+	"nvdclean/internal/cwe"
+	"nvdclean/internal/naming"
+	"nvdclean/internal/otherdb"
+	"nvdclean/internal/predict"
+	"nvdclean/internal/stats"
+)
+
+// bands is the row/column order of every severity table.
+var bands = []cvss.Severity{
+	cvss.SeverityLow, cvss.SeverityMedium, cvss.SeverityHigh, cvss.SeverityCritical,
+}
+
+func tw(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// Fig1 prints the CDF of lag times at the paper's reference points.
+func Fig1(w io.Writer, lags []float64) error {
+	e := stats.NewECDF(lags)
+	fmt.Fprintln(w, "Figure 1: CDF of vulnerability lag times")
+	fmt.Fprintf(w, "  samples: %d\n", e.Len())
+	for _, x := range []float64{0, 1, 2, 4, 6, 7, 14, 30, 60, 100, 200, 400, 800, 1600, 2400} {
+		fmt.Fprintf(w, "  lag <= %5.0f days: %5.1f%%\n", x, 100*e.At(x))
+	}
+	return nil
+}
+
+// Table2 prints the vendor inconsistency pattern taxonomy.
+func Table2(w io.Writer, t *naming.Table2) error {
+	fmt.Fprintln(w, "Table 2: Common inconsistency patterns in vendor naming")
+	tab := tw(w)
+	fmt.Fprintln(tab, "Category\tTokens\tLCS>=3 #MP=0\t#MP=1\t#MP>1\tPref\tPaV\tLCS<3 #MP=0\t#MP=1\t#MP>1\tPref\tPaV")
+	row := func(name string, r *naming.Table2Row) {
+		fmt.Fprintf(tab, "%s\t%d (%d)\t%d (%d)\t%d (%d)\t%d (%d)\t%d (%d)\t%d (%d)\t%d (%d)\t%d (%d)\t%d (%d)\t%d (%d)\t%d (%d)\n",
+			name,
+			r.Tokens.Pairs, r.Tokens.Names,
+			r.LCSGE3.MP0.Pairs, r.LCSGE3.MP0.Names,
+			r.LCSGE3.MP1.Pairs, r.LCSGE3.MP1.Names,
+			r.LCSGE3.MPMany.Pairs, r.LCSGE3.MPMany.Names,
+			r.LCSGE3.Pref.Pairs, r.LCSGE3.Pref.Names,
+			r.LCSGE3.PaV.Pairs, r.LCSGE3.PaV.Names,
+			r.LCSLT3.MP0.Pairs, r.LCSLT3.MP0.Names,
+			r.LCSLT3.MP1.Pairs, r.LCSLT3.MP1.Names,
+			r.LCSLT3.MPMany.Pairs, r.LCSLT3.MPMany.Names,
+			r.LCSLT3.Pref.Pairs, r.LCSLT3.Pref.Names,
+			r.LCSLT3.PaV.Pairs, r.LCSLT3.PaV.Names)
+	}
+	row("Possible", &t.Possible)
+	row("Confirmed", &t.Confirmed)
+	return tab.Flush()
+}
+
+// Table3Row is one database's vendor/product inconsistency summary.
+type Table3Row struct {
+	Database string
+	// Vendor columns.
+	VendorNames, VendorImpacted, VendorConsolidated int
+	// Product columns (NVD only; negative means not investigated).
+	ProductNames, ProductImpacted, ProductVendors int
+	HasProducts                                   bool
+}
+
+// Table3 prints the cross-database inconsistency summary.
+func Table3(w io.Writer, rows []Table3Row) error {
+	fmt.Fprintln(w, "Table 3: Vendor and product name inconsistencies")
+	tab := tw(w)
+	fmt.Fprintln(tab, "Database\tVendor #\t#imp.\t#con.\tProduct #\t#imp.\t#ven.")
+	for _, r := range rows {
+		if r.HasProducts {
+			fmt.Fprintf(tab, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n", r.Database,
+				r.VendorNames, r.VendorImpacted, r.VendorConsolidated,
+				r.ProductNames, r.ProductImpacted, r.ProductVendors)
+		} else {
+			fmt.Fprintf(tab, "%s\t%d\t%d\t%d\t-\t-\t-\n", r.Database,
+				r.VendorNames, r.VendorImpacted, r.VendorConsolidated)
+		}
+	}
+	return tab.Flush()
+}
+
+// OtherDBRow converts an otherdb result to a Table 3 row.
+func OtherDBRow(s otherdb.Stats) Table3Row {
+	return Table3Row{
+		Database:           s.Kind.String(),
+		VendorNames:        s.Names,
+		VendorImpacted:     s.Impacted,
+		VendorConsolidated: s.Consolidated,
+	}
+}
+
+// Transition prints a v2→v3 severity matrix in the layout of Tables 4,
+// 6, 13, 14 and 15.
+func Transition(w io.Writer, title string, m *stats.Confusion) error {
+	fmt.Fprintln(w, title)
+	tab := tw(w)
+	fmt.Fprintln(tab, "v2\\v3\tL #\t%\tM #\t%\tH #\t%\tC #\t%")
+	names := m.Names()
+	for row := 0; row < 3; row++ { // v2 has no Critical row
+		fmt.Fprintf(tab, "%s", names[row])
+		for col := 0; col < 4; col++ {
+			fmt.Fprintf(tab, "\t%d\t%.2f", m.Count(row, col), m.RowPercent(row, col))
+		}
+		fmt.Fprintln(tab)
+	}
+	return tab.Flush()
+}
+
+// Table5 prints model errors (AE, AER).
+func Table5(w io.Writer, evals []*predict.Evaluation) error {
+	fmt.Fprintln(w, "Table 5: Prediction results: Average error (AE) and AE Rate (AER)")
+	tab := tw(w)
+	fmt.Fprint(tab, "Algorithm")
+	for _, ev := range evals {
+		fmt.Fprintf(tab, "\t%s", ev.Model)
+	}
+	fmt.Fprint(tab, "\nAER (%)")
+	for _, ev := range evals {
+		fmt.Fprintf(tab, "\t%.2f", 100*ev.AER)
+	}
+	fmt.Fprint(tab, "\nAE")
+	for _, ev := range evals {
+		fmt.Fprintf(tab, "\t%.2f", ev.AE)
+	}
+	fmt.Fprintln(tab)
+	return tab.Flush()
+}
+
+// Table7 prints overall and per-input-class accuracy.
+func Table7(w io.Writer, evals []*predict.Evaluation) error {
+	fmt.Fprintln(w, "Table 7: Prediction accuracy, overall and by input (v2) class")
+	tab := tw(w)
+	fmt.Fprintln(tab, "Model\tOverall (%)\tL (%)\tM (%)\tH (%)")
+	for _, ev := range evals {
+		fmt.Fprintf(tab, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n", ev.Model,
+			100*ev.Accuracy,
+			100*ev.ByV2Class[cvss.SeverityLow],
+			100*ev.ByV2Class[cvss.SeverityMedium],
+			100*ev.ByV2Class[cvss.SeverityHigh])
+	}
+	return tab.Flush()
+}
+
+// Table8 prints the top dates by CVE publication and by estimated
+// disclosure.
+func Table8(w io.Writer, pub, edd []analysis.DateCount) error {
+	fmt.Fprintln(w, "Table 8: Top dates by CVE publication vs estimated disclosure (EDD)")
+	tab := tw(w)
+	fmt.Fprintln(tab, "CVE Date\tDoW\t#\t%\tEDD\tDoW\t#\t%")
+	n := len(pub)
+	if len(edd) > n {
+		n = len(edd)
+	}
+	for i := 0; i < n; i++ {
+		if i < len(pub) {
+			d := pub[i]
+			fmt.Fprintf(tab, "%s\t%.3s\t%d\t%.1f", d.Date.Format("01/02/06"), d.DayOfWeek(), d.Count, 100*d.YearShare)
+		} else {
+			fmt.Fprint(tab, "\t\t\t")
+		}
+		if i < len(edd) {
+			d := edd[i]
+			fmt.Fprintf(tab, "\t%s\t%.3s\t%d\t%.1f\n", d.Date.Format("01/02/06"), d.DayOfWeek(), d.Count, 100*d.YearShare)
+		} else {
+			fmt.Fprintln(tab, "\t\t\t\t")
+		}
+	}
+	return tab.Flush()
+}
+
+// Fig2 prints the day-of-week comparison.
+func Fig2(w io.Writer, disclosure, published [7]int) error {
+	fmt.Fprintln(w, "Figure 2: CVEs per day of week")
+	tab := tw(w)
+	fmt.Fprintln(tab, "Day\tDisclosure date\tNVD date")
+	for d := time.Sunday; d <= time.Saturday; d++ {
+		fmt.Fprintf(tab, "%.3s\t%d\t%d\n", d, disclosure[d], published[d])
+	}
+	return tab.Flush()
+}
+
+// Table9 prints severity distributions under v2 and predicted v3.
+func Table9(w io.Writer, v2, pv3 analysis.SeverityDist) error {
+	fmt.Fprintln(w, "Table 9: CVSS severity score distributions over all CVEs")
+	tab := tw(w)
+	fmt.Fprintln(tab, "Label\tv2 (%)\tPredicted v3 (%)")
+	for _, b := range bands {
+		v2s := "N.A."
+		if b != cvss.SeverityCritical {
+			v2s = fmt.Sprintf("%.2f", 100*v2[b])
+		}
+		fmt.Fprintf(tab, "%s\t%s\t%.2f\n", b, v2s, 100*pv3[b])
+	}
+	return tab.Flush()
+}
+
+// Fig3 prints per-year severity stacks for each scoring.
+func Fig3(w io.Writer, yearly map[int]map[analysis.Scoring]analysis.SeverityDist) error {
+	fmt.Fprintln(w, "Figure 3: CVE severity distribution by year and scoring (% L/M/H/C)")
+	years := make([]int, 0, len(yearly))
+	for y := range yearly {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	tab := tw(w)
+	fmt.Fprintln(tab, "Year\tScoring\tL\tM\tH\tC")
+	for _, y := range years {
+		for _, s := range []analysis.Scoring{analysis.ScoreV2, analysis.ScoreV3, analysis.ScorePV3} {
+			dist, ok := yearly[y][s]
+			if !ok {
+				fmt.Fprintf(tab, "%d\t%s\t-\t-\t-\t-\n", y, s)
+				continue
+			}
+			fmt.Fprintf(tab, "%d\t%s\t%.1f\t%.1f\t%.1f\t%.1f\n", y, s,
+				100*dist[cvss.SeverityLow], 100*dist[cvss.SeverityMedium],
+				100*dist[cvss.SeverityHigh], 100*dist[cvss.SeverityCritical])
+		}
+	}
+	return tab.Flush()
+}
+
+// Table10 prints top weakness types per scoring and severity band.
+func Table10(w io.Writer, columns map[string][]analysis.TypeCount) error {
+	fmt.Fprintln(w, "Table 10: Top vulnerability types by critical/high severity CVEs")
+	keys := make([]string, 0, len(columns))
+	for k := range columns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	tab := tw(w)
+	for _, k := range keys {
+		fmt.Fprintf(tab, "%s:\n", k)
+		for i, tc := range columns[k] {
+			fmt.Fprintf(tab, "  %d.\t%s\t%d\n", i+1, cwe.ShortName(tc.ID), tc.Count)
+		}
+	}
+	return tab.Flush()
+}
+
+// Table11 prints top vendors before and after name corrections.
+func Table11(w io.Writer, cveAfter, cveBefore, prodAfter, prodBefore []analysis.VendorCount) error {
+	fmt.Fprintln(w, "Table 11: Top vendors by CVEs and products, after and before corrections")
+	tab := tw(w)
+	fmt.Fprintln(tab, "Vendor (CVEs)\tafter #\t%\tbefore #\t%\t\tVendor (products)\tafter #\t%\tbefore #\t%")
+	findCount := func(list []analysis.VendorCount, vendor string) (int, float64) {
+		for _, v := range list {
+			if v.Vendor == vendor {
+				return v.Count, v.Share
+			}
+		}
+		return 0, 0
+	}
+	n := len(cveAfter)
+	if len(prodAfter) > n {
+		n = len(prodAfter)
+	}
+	for i := 0; i < n; i++ {
+		if i < len(cveAfter) {
+			v := cveAfter[i]
+			bc, bs := findCount(cveBefore, v.Vendor)
+			fmt.Fprintf(tab, "%s\t%d\t%.2f\t%d\t%.2f", v.Vendor, v.Count, 100*v.Share, bc, 100*bs)
+		} else {
+			fmt.Fprint(tab, "\t\t\t\t")
+		}
+		if i < len(prodAfter) {
+			v := prodAfter[i]
+			bc, bs := findCount(prodBefore, v.Vendor)
+			fmt.Fprintf(tab, "\t\t%s\t%d\t%.2f\t%d\t%.2f\n", v.Vendor, v.Count, 100*v.Share, bc, 100*bs)
+		} else {
+			fmt.Fprintln(tab, "\t\t\t\t\t")
+		}
+	}
+	return tab.Flush()
+}
+
+// Table12 prints mislabeled-CVE severity breakdowns.
+func Table12(w io.Writer, v2, pv3 analysis.MislabeledSeverity) error {
+	fmt.Fprintln(w, "Table 12: CVEs with mislabeled vendors/products by severity")
+	tab := tw(w)
+	fmt.Fprintln(tab, "Severity\tVendor v2\tVendor pv3\tProduct v2\tProduct pv3")
+	for _, b := range bands {
+		v2v, v2p := "NA", "NA"
+		if b != cvss.SeverityCritical {
+			v2v = fmt.Sprintf("%d", v2.Vendor[b])
+			v2p = fmt.Sprintf("%d", v2.Product[b])
+		}
+		fmt.Fprintf(tab, "%s\t%s\t%d\t%s\t%d\n", b, v2v, pv3.Vendor[b], v2p, pv3.Product[b])
+	}
+	return tab.Flush()
+}
+
+// Fig4 prints average lag by severity.
+func Fig4(w io.Writer, avg map[cvss.Severity]float64) error {
+	fmt.Fprintln(w, "Figure 4: Average lag time by v3 severity level")
+	tab := tw(w)
+	fmt.Fprintln(tab, "Severity\tAvg lag (days)")
+	for _, b := range bands {
+		if v, ok := avg[b]; ok {
+			fmt.Fprintf(tab, "%s\t%.1f\n", b, v)
+		}
+	}
+	return tab.Flush()
+}
+
+// Fig5 prints the PCA decomposition summary: explained variance per
+// component and the per-v3-band centroid in component space.
+func Fig5(w io.Writer, p *stats.PCA, projections [][]float64, labels []cvss.Severity) error {
+	fmt.Fprintln(w, "Figure 5: PCA of v2 features by resulting v3 severity")
+	for k := 0; k < p.Components(); k++ {
+		fmt.Fprintf(w, "  component %d explained variance: %.4f\n", k+1, p.ExplainedVariance(k))
+	}
+	centroid := make(map[cvss.Severity][]float64)
+	count := make(map[cvss.Severity]int)
+	for i, proj := range projections {
+		c := centroid[labels[i]]
+		if c == nil {
+			c = make([]float64, len(proj))
+			centroid[labels[i]] = c
+		}
+		for j, v := range proj {
+			c[j] += v
+		}
+		count[labels[i]]++
+	}
+	tab := tw(w)
+	fmt.Fprintln(tab, "v3 band\tn\tcentroid (PC1, PC2, PC3)")
+	for _, b := range bands {
+		c, ok := centroid[b]
+		if !ok {
+			continue
+		}
+		n := float64(count[b])
+		for len(c) < 3 {
+			c = append(c, 0)
+		}
+		fmt.Fprintf(tab, "%s\t%d\t(%.3f, %.3f, %.3f)\n", b, count[b], c[0]/n, c[1]/n, c[2]/n)
+	}
+	return tab.Flush()
+}
+
+// Fig5Band prints per-v3-label centroids and dispersion for one v2
+// input band's projections — the textual analogue of the paper's
+// Fig 5(a)-(c) scatter plots. A large mean distance-to-centroid
+// relative to the centroid spread is the "scattered" pattern the paper
+// observes for v2-Low.
+func Fig5Band(w io.Writer, projections [][]float64, labels []cvss.Severity) error {
+	centroid := make(map[cvss.Severity][]float64)
+	count := make(map[cvss.Severity]int)
+	for i, p := range projections {
+		c := centroid[labels[i]]
+		if c == nil {
+			c = make([]float64, len(p))
+			centroid[labels[i]] = c
+		}
+		for j, v := range p {
+			c[j] += v
+		}
+		count[labels[i]]++
+	}
+	for sev, c := range centroid {
+		for j := range c {
+			c[j] /= float64(count[sev])
+		}
+	}
+	// Mean distance to own centroid = within-class dispersion.
+	disp := make(map[cvss.Severity]float64)
+	for i, p := range projections {
+		c := centroid[labels[i]]
+		var d2 float64
+		for j := range p {
+			diff := p[j] - c[j]
+			d2 += diff * diff
+		}
+		disp[labels[i]] += math.Sqrt(d2)
+	}
+	tab := tw(w)
+	fmt.Fprintln(tab, "v3 band\tn\tcentroid PC1\tdispersion")
+	for _, b := range bands {
+		n, ok := count[b]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(tab, "%s\t%d\t%.3f\t%.3f\n", b, n, centroid[b][0], disp[b]/float64(n))
+	}
+	return tab.Flush()
+}
+
+// Table16 prints the sampled mislabeled-vendor case studies.
+func Table16(w io.Writer, cases []analysis.CaseStudy) error {
+	fmt.Fprintln(w, "Table 16: Sampled CVEs with mislabeled vendors")
+	tab := tw(w)
+	fmt.Fprintln(tab, "CVE\tVendor\tSeverity (v2)\tDescription")
+	for _, c := range cases {
+		desc := c.Description
+		if len(desc) > 60 {
+			desc = desc[:57] + "..."
+		}
+		fmt.Fprintf(tab, "%s\t%s\t%s\t%s\n", c.ID, c.Vendor, c.Severity, desc)
+	}
+	return tab.Flush()
+}
+
+// CrawlSummary prints reference-crawl coverage (the §4.1 context
+// numbers: URL counts, domain coverage, dead domains).
+func CrawlSummary(w io.Writer, urls, skipped, dead, fetched, extracted int) error {
+	fmt.Fprintln(w, "Reference crawl summary:")
+	fmt.Fprintf(w, "  URLs considered:   %d\n", urls)
+	fmt.Fprintf(w, "  outside top-K:     %d\n", skipped)
+	fmt.Fprintf(w, "  dead-domain fails: %d\n", dead)
+	fmt.Fprintf(w, "  pages fetched:     %d\n", fetched)
+	fmt.Fprintf(w, "  dates extracted:   %d\n", extracted)
+	return nil
+}

@@ -1,0 +1,252 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nvdclean/internal/analysis"
+	"nvdclean/internal/cvss"
+	"nvdclean/internal/naming"
+	"nvdclean/internal/otherdb"
+	"nvdclean/internal/predict"
+	"nvdclean/internal/stats"
+)
+
+func render(t *testing.T, f func(*strings.Builder) error) string {
+	t.Helper()
+	var b strings.Builder
+	if err := f(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestFig1(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error {
+		return Fig1(b, []float64{0, 0, 0, 1, 5, 10, 400})
+	})
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "samples: 7") {
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "42.9%") { // 3/7 at lag 0
+		t.Errorf("zero-lag percentage missing:\n%s", out)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tbl := &naming.Table2{}
+	tbl.Possible.Tokens = naming.Table2Cell{Pairs: 260, Names: 524}
+	tbl.Confirmed.Tokens = naming.Table2Cell{Pairs: 260, Names: 524}
+	out := render(t, func(b *strings.Builder) error { return Table2(b, tbl) })
+	if !strings.Contains(out, "260 (524)") {
+		t.Errorf("tokens cell missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Possible") || !strings.Contains(out, "Confirmed") {
+		t.Error("rows missing")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rows := []Table3Row{
+		{Database: "NVD", VendorNames: 18991, VendorImpacted: 1835, VendorConsolidated: 871,
+			ProductNames: 46685, ProductImpacted: 3101, ProductVendors: 700, HasProducts: true},
+		OtherDBRow(otherdb.Stats{Kind: otherdb.SecurityFocus, Names: 24760, Impacted: 2094, Consolidated: 878}),
+	}
+	out := render(t, func(b *strings.Builder) error { return Table3(b, rows) })
+	if !strings.Contains(out, "NVD") || !strings.Contains(out, "SF") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "46685") {
+		t.Error("product counts missing")
+	}
+	// SF row has no product columns.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "SF") && !strings.Contains(line, "-") {
+			t.Errorf("SF row should have dashes: %q", line)
+		}
+	}
+}
+
+func TestTransition(t *testing.T) {
+	m := stats.NewConfusion([]string{"L", "M", "H", "C"})
+	m.Add(0, 1)
+	m.Add(1, 2)
+	m.Add(2, 3)
+	out := render(t, func(b *strings.Builder) error { return Transition(b, "Table 4: test", m) })
+	if !strings.Contains(out, "Table 4") {
+		t.Error("title missing")
+	}
+	if strings.Count(out, "\n") < 4 {
+		t.Errorf("expected header + 3 rows:\n%s", out)
+	}
+	if !strings.Contains(out, "100.00") {
+		t.Errorf("row percentage missing:\n%s", out)
+	}
+}
+
+func TestTable5And7(t *testing.T) {
+	evals := []*predict.Evaluation{
+		{Model: predict.ModelLR, AE: 0.73, AER: 0.1216, Accuracy: 0.8314,
+			ByV2Class: map[cvss.Severity]float64{cvss.SeverityLow: 0.8258, cvss.SeverityMedium: 0.7931, cvss.SeverityHigh: 0.9114}},
+		{Model: predict.ModelCNN, AE: 0.54, AER: 0.0962, Accuracy: 0.8629,
+			ByV2Class: map[cvss.Severity]float64{cvss.SeverityLow: 0.8284, cvss.SeverityMedium: 0.8331, cvss.SeverityHigh: 0.9355}},
+	}
+	out5 := render(t, func(b *strings.Builder) error { return Table5(b, evals) })
+	if !strings.Contains(out5, "12.16") || !strings.Contains(out5, "0.54") {
+		t.Errorf("Table 5 values missing:\n%s", out5)
+	}
+	out7 := render(t, func(b *strings.Builder) error { return Table7(b, evals) })
+	if !strings.Contains(out7, "86.29") || !strings.Contains(out7, "93.55") {
+		t.Errorf("Table 7 values missing:\n%s", out7)
+	}
+}
+
+func TestTable8AndFig2(t *testing.T) {
+	mk := func(y, m, d, count int, share float64) analysis.DateCount {
+		return analysis.DateCount{
+			Date:      time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC),
+			Count:     count,
+			YearShare: share,
+		}
+	}
+	pub := []analysis.DateCount{mk(2004, 12, 31, 1098, 0.448)}
+	edd := []analysis.DateCount{mk(2014, 9, 9, 384, 0.051), mk(2018, 7, 9, 359, 0.024)}
+	out := render(t, func(b *strings.Builder) error { return Table8(b, pub, edd) })
+	if !strings.Contains(out, "12/31/04") || !strings.Contains(out, "09/09/14") {
+		t.Errorf("dates missing:\n%s", out)
+	}
+	if !strings.Contains(out, "44.8") {
+		t.Errorf("year share missing:\n%s", out)
+	}
+	var disc, published [7]int
+	disc[1] = 100
+	published[5] = 50
+	out2 := render(t, func(b *strings.Builder) error { return Fig2(b, disc, published) })
+	if !strings.Contains(out2, "Mon") || !strings.Contains(out2, "100") {
+		t.Errorf("Fig2 output:\n%s", out2)
+	}
+}
+
+func TestTable9(t *testing.T) {
+	v2 := analysis.SeverityDist{cvss.SeverityLow: 0.0825, cvss.SeverityMedium: 0.5483, cvss.SeverityHigh: 0.3692}
+	pv3 := analysis.SeverityDist{cvss.SeverityLow: 0.0162, cvss.SeverityMedium: 0.383, cvss.SeverityHigh: 0.4448, cvss.SeverityCritical: 0.156}
+	out := render(t, func(b *strings.Builder) error { return Table9(b, v2, pv3) })
+	if !strings.Contains(out, "N.A.") {
+		t.Error("v2 Critical must print N.A.")
+	}
+	if !strings.Contains(out, "15.60") {
+		t.Errorf("pv3 critical share missing:\n%s", out)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	yearly := map[int]map[analysis.Scoring]analysis.SeverityDist{
+		2005: {
+			analysis.ScoreV2:  {cvss.SeverityMedium: 1},
+			analysis.ScorePV3: {cvss.SeverityHigh: 1},
+		},
+	}
+	out := render(t, func(b *strings.Builder) error { return Fig3(b, yearly) })
+	if !strings.Contains(out, "2005") || !strings.Contains(out, "PV3") {
+		t.Errorf("Fig3 output:\n%s", out)
+	}
+	// Missing V3 renders as dashes.
+	if !strings.Contains(out, "-") {
+		t.Error("missing scoring should render dashes")
+	}
+}
+
+func TestTable10(t *testing.T) {
+	cols := map[string][]analysis.TypeCount{
+		"v2 High":      {{ID: 119, Count: 6935}, {ID: 89, Count: 4115}},
+		"pv3 Critical": {{ID: 89, Count: 3420}},
+	}
+	out := render(t, func(b *strings.Builder) error { return Table10(b, cols) })
+	if !strings.Contains(out, "Buffer Overflow") || !strings.Contains(out, "SQL Injection") {
+		t.Errorf("short names missing:\n%s", out)
+	}
+	if !strings.Contains(out, "6935") {
+		t.Error("counts missing")
+	}
+}
+
+func TestTable11(t *testing.T) {
+	after := []analysis.VendorCount{{Vendor: "oracle", Count: 5650, Share: 0.0527}}
+	before := []analysis.VendorCount{{Vendor: "oracle", Count: 5526, Share: 0.0515}}
+	prodA := []analysis.VendorCount{{Vendor: "hp", Count: 3067, Share: 0.0673}}
+	prodB := []analysis.VendorCount{{Vendor: "hp", Count: 3083, Share: 0.066}}
+	out := render(t, func(b *strings.Builder) error { return Table11(b, after, before, prodA, prodB) })
+	for _, want := range []string{"oracle", "5650", "5526", "hp", "3067", "3083"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable12(t *testing.T) {
+	v2 := analysis.MislabeledSeverity{
+		Vendor:  map[cvss.Severity]int{cvss.SeverityMedium: 2033, cvss.SeverityHigh: 1206},
+		Product: map[cvss.Severity]int{cvss.SeverityMedium: 196},
+	}
+	pv3 := analysis.MislabeledSeverity{
+		Vendor:  map[cvss.Severity]int{cvss.SeverityCritical: 919},
+		Product: map[cvss.Severity]int{cvss.SeverityCritical: 68},
+	}
+	out := render(t, func(b *strings.Builder) error { return Table12(b, v2, pv3) })
+	if !strings.Contains(out, "2033") || !strings.Contains(out, "919") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	if !strings.Contains(out, "NA") {
+		t.Error("v2 Critical must print NA")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	avg := map[cvss.Severity]float64{
+		cvss.SeverityLow: 47.6, cvss.SeverityMedium: 55.0,
+		cvss.SeverityHigh: 60.2, cvss.SeverityCritical: 66.8,
+	}
+	out := render(t, func(b *strings.Builder) error { return Fig4(b, avg) })
+	if !strings.Contains(out, "47.6") || !strings.Contains(out, "66.8") {
+		t.Errorf("averages missing:\n%s", out)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	data := [][]float64{{1, 0, 0}, {2, 0, 0}, {3, 1, 0}, {4, 1, 0}}
+	p, err := stats.FitPCA(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := p.TransformAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []cvss.Severity{cvss.SeverityLow, cvss.SeverityLow, cvss.SeverityHigh, cvss.SeverityHigh}
+	out := render(t, func(b *strings.Builder) error { return Fig5(b, p, proj, labels) })
+	if !strings.Contains(out, "explained variance") || !strings.Contains(out, "centroid") {
+		t.Errorf("Fig5 output:\n%s", out)
+	}
+}
+
+func TestTable16(t *testing.T) {
+	cases := []analysis.CaseStudy{
+		{ID: "CVE-2008-4019", Vendor: "microsft", Severity: cvss.SeverityHigh,
+			Description: strings.Repeat("remote code execution ", 10)},
+	}
+	out := render(t, func(b *strings.Builder) error { return Table16(b, cases) })
+	if !strings.Contains(out, "microsft") {
+		t.Errorf("vendor missing:\n%s", out)
+	}
+	if !strings.Contains(out, "...") {
+		t.Error("long description should be truncated")
+	}
+}
+
+func TestCrawlSummary(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return CrawlSummary(b, 100, 15, 10, 70, 68) })
+	if !strings.Contains(out, "URLs considered:   100") {
+		t.Errorf("summary:\n%s", out)
+	}
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// PCA holds a fitted principal-component decomposition. The paper's
+// Fig 5 projects the 13-dimensional v2 feature vectors to three
+// components to visualize the non-linear v2→v3 label structure.
+type PCA struct {
+	mean       []float64
+	components [][]float64 // components[k] is the k-th principal axis
+	eigvals    []float64
+}
+
+// FitPCA computes the top-k principal components of the row-major data
+// matrix via power iteration with deflation on the covariance matrix.
+// Power iteration is exact enough here because severity feature spaces
+// have well-separated leading eigenvalues.
+func FitPCA(data [][]float64, k int) (*PCA, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, errors.New("stats: PCA needs at least one row")
+	}
+	d := len(data[0])
+	if d == 0 {
+		return nil, errors.New("stats: PCA needs at least one column")
+	}
+	for _, row := range data {
+		if len(row) != d {
+			return nil, errors.New("stats: ragged data matrix")
+		}
+	}
+	if k <= 0 || k > d {
+		return nil, errors.New("stats: component count out of range")
+	}
+
+	mean := make([]float64, d)
+	for _, row := range data {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+
+	// Covariance matrix (d x d).
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	for _, row := range data {
+		for i := 0; i < d; i++ {
+			di := row[i] - mean[i]
+			for j := i; j < d; j++ {
+				cov[i][j] += di * (row[j] - mean[j])
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i][j] /= float64(n)
+			cov[j][i] = cov[i][j]
+		}
+	}
+
+	p := &PCA{mean: mean}
+	for c := 0; c < k; c++ {
+		vec, val := powerIterate(cov, 500, 1e-10)
+		if val <= 1e-12 {
+			break // remaining variance is numerically zero
+		}
+		p.components = append(p.components, vec)
+		p.eigvals = append(p.eigvals, val)
+		deflate(cov, vec, val)
+	}
+	if len(p.components) == 0 {
+		return nil, errors.New("stats: data has zero variance")
+	}
+	return p, nil
+}
+
+// powerIterate finds the dominant eigenvector/eigenvalue of symmetric m.
+func powerIterate(m [][]float64, maxIter int, tol float64) ([]float64, float64) {
+	d := len(m)
+	v := make([]float64, d)
+	// Deterministic non-degenerate start vector.
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(d)+float64(i))
+	}
+	normalize(v)
+	next := make([]float64, d)
+	var val float64
+	for iter := 0; iter < maxIter; iter++ {
+		matVec(m, v, next)
+		newVal := norm(next)
+		if newVal == 0 {
+			return v, 0
+		}
+		for i := range next {
+			next[i] /= newVal
+		}
+		diff := 0.0
+		for i := range v {
+			diff += math.Abs(next[i] - v[i])
+		}
+		copy(v, next)
+		val = newVal
+		if diff < tol {
+			break
+		}
+	}
+	return append([]float64(nil), v...), val
+}
+
+func deflate(m [][]float64, vec []float64, val float64) {
+	d := len(m)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			m[i][j] -= val * vec[i] * vec[j]
+		}
+	}
+}
+
+func matVec(m [][]float64, v, out []float64) {
+	for i := range m {
+		var s float64
+		for j, mv := range m[i] {
+			s += mv * v[j]
+		}
+		out[i] = s
+	}
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	n := norm(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// Components returns the number of fitted components.
+func (p *PCA) Components() int { return len(p.components) }
+
+// ExplainedVariance returns the eigenvalue of component k.
+func (p *PCA) ExplainedVariance(k int) float64 { return p.eigvals[k] }
+
+// Transform projects a single row onto the fitted components.
+func (p *PCA) Transform(row []float64) ([]float64, error) {
+	if len(row) != len(p.mean) {
+		return nil, errors.New("stats: dimension mismatch")
+	}
+	out := make([]float64, len(p.components))
+	centered := make([]float64, len(row))
+	for j, v := range row {
+		centered[j] = v - p.mean[j]
+	}
+	for k, comp := range p.components {
+		var s float64
+		for j, c := range comp {
+			s += c * centered[j]
+		}
+		out[k] = s
+	}
+	return out, nil
+}
+
+// TransformAll projects every row of data.
+func (p *PCA) TransformAll(data [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(data))
+	for i, row := range data {
+		proj, err := p.Transform(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = proj
+	}
+	return out, nil
+}

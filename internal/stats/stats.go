@@ -1,0 +1,227 @@
+// Package stats provides the statistical primitives behind the paper's
+// figures: empirical CDFs (Fig 1), histograms and per-category
+// distributions (Figs 2–4), quantiles, confusion matrices (Tables 4, 6,
+// 13–15), and principal component analysis (Fig 5).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over float64
+// samples.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from samples; the input slice is not modified.
+func NewECDF(samples []float64) *ECDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Len returns the number of samples.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns P(X <= x), the fraction of samples at or below x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using the nearest-rank
+// method.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return e.sorted[rank]
+}
+
+// Points samples the ECDF at each distinct value, returning (x, P(X<=x))
+// pairs — the series plotted in Fig 1.
+func (e *ECDF) Points() (xs, ps []float64) {
+	n := len(e.sorted)
+	for i := 0; i < n; {
+		j := i
+		for j < n && e.sorted[j] == e.sorted[i] {
+			j++
+		}
+		xs = append(xs, e.sorted[i])
+		ps = append(ps, float64(j)/float64(n))
+		i = j
+	}
+	return xs, ps
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Histogram counts occurrences per integer-labeled bucket, used for the
+// day-of-week and per-year breakdowns.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add increments bucket b.
+func (h *Histogram) Add(b int) { h.counts[b]++; h.total++ }
+
+// AddN increments bucket b by n.
+func (h *Histogram) AddN(b, n int) { h.counts[b] += n; h.total += n }
+
+// Count returns the count in bucket b.
+func (h *Histogram) Count(b int) int { return h.counts[b] }
+
+// Total returns the number of added observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns bucket b's share of the total, or 0 when empty.
+func (h *Histogram) Fraction(b int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[b]) / float64(h.total)
+}
+
+// Buckets returns the occupied buckets in ascending order.
+func (h *Histogram) Buckets() []int {
+	out := make([]int, 0, len(h.counts))
+	for b := range h.counts {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Confusion is a square confusion matrix over class labels 0..n-1 with
+// human-readable names, rendering the paper's transition tables.
+type Confusion struct {
+	names  []string
+	counts [][]int
+}
+
+// NewConfusion creates an n-class confusion matrix. names must have
+// length n.
+func NewConfusion(names []string) *Confusion {
+	c := &Confusion{names: append([]string(nil), names...)}
+	c.counts = make([][]int, len(names))
+	for i := range c.counts {
+		c.counts[i] = make([]int, len(names))
+	}
+	return c
+}
+
+// Add records one observation with true class row and predicted (or
+// transformed) class col.
+func (c *Confusion) Add(row, col int) error {
+	if row < 0 || row >= len(c.counts) || col < 0 || col >= len(c.counts) {
+		return fmt.Errorf("stats: class out of range (%d, %d)", row, col)
+	}
+	c.counts[row][col]++
+	return nil
+}
+
+// Count returns the count at (row, col).
+func (c *Confusion) Count(row, col int) int { return c.counts[row][col] }
+
+// RowTotal returns the number of observations with true class row.
+func (c *Confusion) RowTotal(row int) int {
+	var t int
+	for _, v := range c.counts[row] {
+		t += v
+	}
+	return t
+}
+
+// RowPercent returns 100 * Count(row, col) / RowTotal(row), the
+// percentage format of Tables 4, 6 and 13–15.
+func (c *Confusion) RowPercent(row, col int) float64 {
+	t := c.RowTotal(row)
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(c.counts[row][col]) / float64(t)
+}
+
+// Total returns the total number of observations.
+func (c *Confusion) Total() int {
+	var t int
+	for i := range c.counts {
+		t += c.RowTotal(i)
+	}
+	return t
+}
+
+// Accuracy returns the fraction of observations on the diagonal.
+func (c *Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	var diag int
+	for i := range c.counts {
+		diag += c.counts[i][i]
+	}
+	return float64(diag) / float64(t)
+}
+
+// ClassAccuracy returns the per-row accuracy (recall) for class row.
+func (c *Confusion) ClassAccuracy(row int) float64 {
+	t := c.RowTotal(row)
+	if t == 0 {
+		return 0
+	}
+	return float64(c.counts[row][row]) / float64(t)
+}
+
+// Names returns the class labels.
+func (c *Confusion) Names() []string { return append([]string(nil), c.names...) }
+
+// Size returns the number of classes.
+func (c *Confusion) Size() int { return len(c.names) }

@@ -1,0 +1,298 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{0, 0, 1, 2, 10})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{-1, 0},
+		{0, 0.4},
+		{0.5, 0.4},
+		{1, 0.6},
+		{2, 0.8},
+		{9.99, 0.8},
+		{10, 1.0},
+		{100, 1.0},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if e.Len() != 5 {
+		t.Errorf("Len = %d", e.Len())
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(1) != 0 {
+		t.Error("empty ECDF should return 0")
+	}
+	if !math.IsNaN(e.Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestECDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewECDF(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("input slice was sorted in place")
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if got := e.Quantile(0.5); got != 5 {
+		t.Errorf("median = %v, want 5", got)
+	}
+	if got := e.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := e.Quantile(1); got != 10 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := e.Quantile(0.9); got != 9 {
+		t.Errorf("q0.9 = %v", got)
+	}
+}
+
+func TestECDFMonotonicProperty(t *testing.T) {
+	f := func(samples []float64, a, b float64) bool {
+		for _, s := range samples {
+			if math.IsNaN(s) {
+				return true
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		e := NewECDF(samples)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return e.At(lo) <= e.At(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{1, 1, 2, 3})
+	xs, ps := e.Points()
+	if len(xs) != 3 || xs[0] != 1 || xs[2] != 3 {
+		t.Errorf("xs = %v", xs)
+	}
+	if ps[len(ps)-1] != 1.0 {
+		t.Errorf("last p = %v, want 1", ps[len(ps)-1])
+	}
+	if math.Abs(ps[0]-0.5) > 1e-12 {
+		t.Errorf("p[0] = %v, want 0.5", ps[0])
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Error("empty mean/stddev should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, b := range []int{1, 1, 2, 5} {
+		h.Add(b)
+	}
+	h.AddN(2, 3)
+	if h.Count(1) != 2 || h.Count(2) != 4 || h.Count(5) != 1 {
+		t.Errorf("counts wrong: %v %v %v", h.Count(1), h.Count(2), h.Count(5))
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if math.Abs(h.Fraction(2)-4.0/7.0) > 1e-12 {
+		t.Errorf("Fraction(2) = %v", h.Fraction(2))
+	}
+	bs := h.Buckets()
+	if len(bs) != 3 || bs[0] != 1 || bs[2] != 5 {
+		t.Errorf("Buckets = %v", bs)
+	}
+	empty := NewHistogram()
+	if empty.Fraction(0) != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	c := NewConfusion([]string{"L", "M", "H"})
+	for i := 0; i < 8; i++ {
+		if err := c.Add(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Add(0, 1)
+	c.Add(0, 1)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	if c.Count(0, 0) != 8 || c.Count(0, 1) != 2 {
+		t.Errorf("counts wrong")
+	}
+	if c.RowTotal(0) != 10 {
+		t.Errorf("RowTotal = %d", c.RowTotal(0))
+	}
+	if math.Abs(c.RowPercent(0, 0)-80) > 1e-9 {
+		t.Errorf("RowPercent = %v", c.RowPercent(0, 0))
+	}
+	if c.Total() != 12 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if math.Abs(c.Accuracy()-10.0/12.0) > 1e-12 {
+		t.Errorf("Accuracy = %v", c.Accuracy())
+	}
+	if c.ClassAccuracy(1) != 1.0 {
+		t.Errorf("ClassAccuracy(1) = %v", c.ClassAccuracy(1))
+	}
+	if err := c.Add(5, 0); err == nil {
+		t.Error("out of range Add should fail")
+	}
+	if c.Size() != 3 || len(c.Names()) != 3 {
+		t.Error("size/names wrong")
+	}
+	if c.RowPercent(1, 0) != 0 {
+		t.Errorf("RowPercent(1,0) = %v", c.RowPercent(1, 0))
+	}
+}
+
+func TestConfusionEmptyRow(t *testing.T) {
+	c := NewConfusion([]string{"a", "b"})
+	if c.RowPercent(0, 0) != 0 || c.ClassAccuracy(0) != 0 || c.Accuracy() != 0 {
+		t.Error("empty confusion should report zeros")
+	}
+}
+
+func TestPCARecoversAxis(t *testing.T) {
+	// Points spread along the (1, 1, 0) direction with small noise in
+	// (1, -1, 0): the first component must align with (1,1,0)/sqrt(2).
+	var data [][]float64
+	for i := -50; i <= 50; i++ {
+		tt := float64(i)
+		noise := 0.01 * float64(i%7)
+		data = append(data, []float64{tt + noise, tt - noise, 0})
+	}
+	p, err := FitPCA(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Components() < 1 {
+		t.Fatal("no components")
+	}
+	proj, err := p.Transform([]float64{10, 10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * math.Sqrt2
+	if math.Abs(math.Abs(proj[0])-want) > 0.1 {
+		t.Errorf("projection onto first axis = %v, want ±%v", proj[0], want)
+	}
+	if p.ExplainedVariance(0) <= 0 {
+		t.Error("first eigenvalue must be positive")
+	}
+}
+
+func TestPCAVarianceOrdering(t *testing.T) {
+	var data [][]float64
+	for i := 0; i < 200; i++ {
+		x := float64(i%17) - 8
+		y := 0.3 * (float64(i%5) - 2)
+		z := 0.05 * (float64(i%3) - 1)
+		data = append(data, []float64{x, y, z})
+	}
+	p, err := FitPCA(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < p.Components(); k++ {
+		if p.ExplainedVariance(k) > p.ExplainedVariance(k-1)+1e-9 {
+			t.Errorf("eigenvalues not descending: %v then %v",
+				p.ExplainedVariance(k-1), p.ExplainedVariance(k))
+		}
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := FitPCA(nil, 1); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {1}}, 1); err == nil {
+		t.Error("ragged data should fail")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}}, 5); err == nil {
+		t.Error("too many components should fail")
+	}
+	if _, err := FitPCA([][]float64{{1, 1}, {1, 1}}, 1); err == nil {
+		t.Error("zero variance should fail")
+	}
+	p, err := FitPCA([][]float64{{1, 2}, {3, 4}, {5, 7}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Transform([]float64{1}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestPCATransformAll(t *testing.T) {
+	data := [][]float64{{1, 0}, {2, 0}, {3, 0}, {4, 0}}
+	p, err := FitPCA(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := p.TransformAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj) != 4 {
+		t.Fatalf("rows = %d", len(proj))
+	}
+	// Projections along one axis must preserve ordering up to sign.
+	increasing := proj[1][0] > proj[0][0]
+	for i := 1; i < 4; i++ {
+		if (proj[i][0] > proj[i-1][0]) != increasing {
+			t.Error("projection is not monotone along the data axis")
+		}
+	}
+}
+
+func BenchmarkFitPCA13Dim(b *testing.B) {
+	var data [][]float64
+	for i := 0; i < 1000; i++ {
+		row := make([]float64, 13)
+		for j := range row {
+			row[j] = float64((i*31+j*17)%23) / 23
+		}
+		data = append(data, row)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitPCA(data, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package suggest implements the reporter-assistance application of the
+// paper's §6: "The individual reporters can enter the vendor and
+// product name according to their perception, and the tool will suggest
+// the suitable vendor and product name from the generated consistent
+// database. ... One path forward would be to require vulnerability
+// reporters to check their name submissions against a tool or online
+// interface that searches existing names that likely match, perhaps
+// using an approach such as our identification method."
+//
+// An Advisor indexes the consistent name database produced by the
+// cleaning pipeline and ranks candidate canonical names for a query
+// using the same §4.2 signals: known-alias lookup, token identity,
+// abbreviation expansion, prefix relation, edit distance, and
+// longest-common-substring overlap.
+package suggest
+
+import (
+	"sort"
+	"strings"
+
+	"nvdclean/internal/cve"
+	"nvdclean/internal/naming"
+	"nvdclean/internal/textnorm"
+)
+
+// Suggestion is one ranked candidate name.
+type Suggestion struct {
+	// Name is the canonical (consistent) name.
+	Name string
+	// Score in (0, 1]; higher is a stronger match.
+	Score float64
+	// Reason names the matching signal ("exact", "known-alias",
+	// "tokens", "abbreviation", "prefix", "edit-distance", "substring").
+	Reason string
+	// CVEs is the number of CVEs associated with the name, the
+	// tie-breaker (more established names rank first).
+	CVEs int
+}
+
+// Advisor serves name suggestions from a cleaned snapshot.
+type Advisor struct {
+	// vendor index
+	vendorCVEs   map[string]int
+	vendorNames  []string
+	vendorTokens map[string][]string // canonical token string -> names
+	vendorAbbrev map[string][]string // abbreviation -> multi-token names
+	vendorAlias  map[string]string   // known inconsistent spelling -> canonical
+
+	// product index, keyed by vendor
+	products     map[string]map[string]int // vendor -> product -> CVE count
+	productAlias map[[2]string]string
+}
+
+// NewAdvisor indexes a cleaned snapshot. vendorMap and productMap are
+// the consolidation maps from the pipeline; they teach the advisor the
+// known inconsistent spellings (nil maps are allowed).
+func NewAdvisor(snap *cve.Snapshot, vendorMap *naming.Map, productMap *naming.ProductMap) *Advisor {
+	a := &Advisor{
+		vendorCVEs:   snap.VendorCVECount(),
+		vendorTokens: make(map[string][]string),
+		vendorAbbrev: make(map[string][]string),
+		vendorAlias:  make(map[string]string),
+		products:     make(map[string]map[string]int),
+		productAlias: make(map[[2]string]string),
+	}
+	for _, e := range snap.Entries {
+		seen := make(map[[2]string]bool, len(e.CPEs))
+		for _, n := range e.CPEs {
+			k := [2]string{n.Vendor, n.Product}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			m := a.products[n.Vendor]
+			if m == nil {
+				m = make(map[string]int)
+				a.products[n.Vendor] = m
+			}
+			m[n.Product]++
+		}
+	}
+	a.vendorNames = make([]string, 0, len(a.vendorCVEs))
+	for name := range a.vendorCVEs {
+		a.vendorNames = append(a.vendorNames, name)
+		tok := textnorm.CanonicalTokens(name)
+		a.vendorTokens[tok] = append(a.vendorTokens[tok], name)
+		if ab := textnorm.Abbreviation(name); ab != "" {
+			a.vendorAbbrev[ab] = append(a.vendorAbbrev[ab], name)
+		}
+	}
+	sort.Strings(a.vendorNames)
+	// Known aliases: everything the consolidation maps rewrite.
+	if vendorMap != nil {
+		a.vendorAlias = vendorMap.Entries()
+	}
+	if productMap != nil {
+		a.productAlias = productMap.Entries()
+	}
+	return a
+}
+
+// SuggestVendor ranks up to k canonical vendor names for the query.
+func (a *Advisor) SuggestVendor(query string, k int) []Suggestion {
+	query = strings.ToLower(strings.TrimSpace(query))
+	if query == "" {
+		return nil
+	}
+	best := make(map[string]Suggestion)
+	consider := func(name string, score float64, reason string) {
+		cur, ok := best[name]
+		if ok && cur.Score >= score {
+			return
+		}
+		best[name] = Suggestion{Name: name, Score: score, Reason: reason, CVEs: a.vendorCVEs[name]}
+	}
+
+	// Exact and known-alias hits.
+	if _, ok := a.vendorCVEs[query]; ok {
+		consider(query, 1.0, "exact")
+	}
+	if canonical, ok := a.vendorAlias[query]; ok {
+		consider(canonical, 0.95, "known-alias")
+	}
+	// Token identity: avast! ~ avast, bea systems ~ bea_systems.
+	for _, name := range a.vendorTokens[textnorm.CanonicalTokens(query)] {
+		if name != query {
+			consider(name, 0.90, "tokens")
+		}
+	}
+	// Abbreviation in both directions: query "lms" expands; query
+	// "lan management system" abbreviates.
+	for _, name := range a.vendorAbbrev[query] {
+		consider(name, 0.85, "abbreviation")
+	}
+	if ab := textnorm.Abbreviation(query); ab != "" {
+		if _, ok := a.vendorCVEs[ab]; ok {
+			consider(ab, 0.85, "abbreviation")
+		}
+	}
+	// Scan with cheap rejects for prefix / edit distance / substring.
+	for _, name := range a.vendorNames {
+		if name == query {
+			continue
+		}
+		switch {
+		case textnorm.IsPrefix(query, name):
+			consider(name, 0.80, "prefix")
+		case textnorm.WithinEditDistance(query, name, 1):
+			consider(name, 0.75, "edit-distance")
+		case textnorm.WithinEditDistance(query, name, 2) && len(query) >= 6:
+			consider(name, 0.60, "edit-distance")
+		default:
+			if len(query) >= 4 {
+				lcs := textnorm.LongestCommonSubstring(query, name)
+				shorter := len(query)
+				if len(name) < shorter {
+					shorter = len(name)
+				}
+				if ratio := float64(lcs) / float64(shorter); ratio >= 0.75 {
+					consider(name, 0.5*ratio, "substring")
+				}
+			}
+		}
+	}
+	return rankSuggestions(best, k)
+}
+
+// SuggestProduct ranks up to k canonical product names under a vendor.
+// The vendor itself is resolved through the vendor suggestions first,
+// so a reporter can type an inconsistent vendor name too.
+func (a *Advisor) SuggestProduct(vendor, query string, k int) []Suggestion {
+	vendor = strings.ToLower(strings.TrimSpace(vendor))
+	query = strings.ToLower(strings.TrimSpace(query))
+	if query == "" {
+		return nil
+	}
+	catalog := a.products[vendor]
+	if catalog == nil {
+		// Resolve the vendor through its own suggestions.
+		if vs := a.SuggestVendor(vendor, 1); len(vs) > 0 {
+			catalog = a.products[vs[0].Name]
+			vendor = vs[0].Name
+		}
+	}
+	if catalog == nil {
+		return nil
+	}
+	best := make(map[string]Suggestion)
+	consider := func(name string, score float64, reason string) {
+		cur, ok := best[name]
+		if ok && cur.Score >= score {
+			return
+		}
+		best[name] = Suggestion{Name: name, Score: score, Reason: reason, CVEs: catalog[name]}
+	}
+	if _, ok := catalog[query]; ok {
+		consider(query, 1.0, "exact")
+	}
+	if canonical, ok := a.productAlias[[2]string{vendor, query}]; ok {
+		consider(canonical, 0.95, "known-alias")
+	}
+	qTokens := textnorm.CanonicalTokens(query)
+	qAbbrev := textnorm.Abbreviation(query)
+	for name := range catalog {
+		if name == query {
+			continue
+		}
+		switch {
+		case textnorm.CanonicalTokens(name) == qTokens:
+			consider(name, 0.90, "tokens")
+		case textnorm.Abbreviation(name) == query, qAbbrev != "" && qAbbrev == name:
+			consider(name, 0.85, "abbreviation")
+		case textnorm.IsPrefix(query, name):
+			consider(name, 0.80, "prefix")
+		case textnorm.WithinEditDistance(query, name, 1):
+			consider(name, 0.75, "edit-distance")
+		default:
+			if len(query) >= 4 {
+				lcs := textnorm.LongestCommonSubstring(query, name)
+				shorter := len(query)
+				if len(name) < shorter {
+					shorter = len(name)
+				}
+				if ratio := float64(lcs) / float64(shorter); ratio >= 0.75 {
+					consider(name, 0.5*ratio, "substring")
+				}
+			}
+		}
+	}
+	return rankSuggestions(best, k)
+}
+
+func rankSuggestions(best map[string]Suggestion, k int) []Suggestion {
+	out := make([]Suggestion, 0, len(best))
+	for _, s := range best {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].CVEs != out[j].CVEs {
+			return out[i].CVEs > out[j].CVEs
+		}
+		return out[i].Name < out[j].Name
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package textnorm
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopwords is the list of commonly used words removed from CVE
+// descriptions before embedding (§4.4: "This capability can be accessed"
+// becomes "capability access"). The list covers English function words;
+// domain terms are intentionally kept.
+var stopwords = map[string]struct{}{
+	"a": {}, "an": {}, "the": {}, "this": {}, "that": {}, "these": {},
+	"those": {}, "is": {}, "are": {}, "was": {}, "were": {}, "be": {},
+	"been": {}, "being": {}, "am": {}, "it": {}, "its": {}, "of": {},
+	"in": {}, "on": {}, "at": {}, "by": {}, "to": {}, "for": {},
+	"with": {}, "from": {}, "as": {}, "and": {}, "or": {}, "not": {},
+	"no": {}, "can": {}, "could": {}, "may": {}, "might": {}, "will": {},
+	"would": {}, "shall": {}, "should": {}, "do": {}, "does": {},
+	"did": {}, "has": {}, "have": {}, "had": {}, "which": {}, "who": {},
+	"whom": {}, "whose": {}, "what": {}, "when": {}, "where": {},
+	"how": {}, "via": {}, "than": {}, "then": {}, "there": {},
+	"their": {}, "they": {}, "them": {}, "he": {}, "she": {}, "his": {},
+	"her": {}, "we": {}, "our": {}, "you": {}, "your": {}, "but": {},
+	"if": {}, "so": {}, "such": {}, "into": {}, "onto": {}, "also": {},
+	"other": {}, "before": {}, "after": {}, "during": {}, "while": {},
+	"all": {}, "any": {}, "some": {}, "each": {}, "more": {}, "most": {},
+	"only": {}, "own": {}, "same": {}, "both": {}, "between": {},
+	"through": {}, "because": {}, "due": {}, "earlier": {},
+}
+
+// contractions maps possessive and contracted forms to their base word.
+// §4.4 normalizes "identifier's" to "identifier".
+var contractions = map[string]string{
+	"n't": " not", "'re": " are", "'ve": " have", "'ll": " will",
+	"'d": " would", "'m": " am", "'s": "", "s'": "s",
+}
+
+// irregularPast maps common irregular past-tense verbs seen in CVE
+// descriptions to present tense (§4.4: "used" becomes "use").
+var irregularPast = map[string]string{
+	"was": "is", "were": "are", "had": "have", "did": "do",
+	"sent": "send", "found": "find", "made": "make", "gave": "give",
+	"took": "take", "got": "get", "ran": "run", "read": "read",
+	"wrote": "write", "written": "write", "led": "lead", "built": "build",
+	"broke": "break", "broken": "break", "chose": "choose",
+	"chosen": "choose", "known": "know", "knew": "know", "seen": "see",
+	"saw": "see", "held": "hold", "kept": "keep", "left": "leave",
+	"lost": "lose", "meant": "mean", "put": "put", "set": "set",
+	"shown": "show", "thought": "think", "caught": "catch",
+	"brought": "bring",
+}
+
+// PresentTense heuristically converts a past-tense or participle token to
+// present tense: irregular verbs via table lookup, then the regular
+// "-ied" -> "-y" and "-ed" -> "" suffix rules with doubled-consonant
+// handling ("permitted" -> "permit").
+func PresentTense(w string) string {
+	if base, ok := irregularPast[w]; ok {
+		return base
+	}
+	switch {
+	case strings.HasSuffix(w, "ied") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "eed"), strings.HasSuffix(w, "eed."):
+		return w // "exceed", "succeed" are present tense.
+	case strings.HasSuffix(w, "ed") && len(w) > 3:
+		stem := w[:len(w)-2]
+		// Doubled final consonant: "permitted" -> "permit". Following the
+		// Porter rule, l/s/z doubles are kept ("accessed" -> "access").
+		n := len(stem)
+		if n >= 2 && stem[n-1] == stem[n-2] && !isVowel(stem[n-1]) {
+			switch stem[n-1] {
+			case 'l', 's', 'z':
+				return stem
+			}
+			return stem[:n-1]
+		}
+		// "used" -> "use": restore trailing 'e' when the stem ends in a
+		// consonant cluster that needs it (heuristic: ends in s, c, g, v,
+		// z, or single consonant after vowel).
+		if n >= 2 && !isVowel(stem[n-1]) && isVowel(stem[n-2]) {
+			switch stem[n-1] {
+			case 's', 'c', 'g', 'v', 'z', 'u':
+				return stem + "e"
+			}
+		}
+		return stem
+	}
+	return w
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// PreprocessDescription applies the §4.4 description pipeline: case
+// folding, contraction expansion, special-character and stopword removal,
+// and tense normalization. The result is the cleaned token stream fed to
+// the text encoder.
+func PreprocessDescription(s string) []string {
+	s = strings.ToLower(s)
+	for c, repl := range contractions {
+		s = strings.ReplaceAll(s, c, repl)
+	}
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		w := b.String()
+		b.Reset()
+		if _, stop := stopwords[w]; stop {
+			return
+		}
+		w = PresentTense(w)
+		if _, stop := stopwords[w]; stop {
+			return
+		}
+		tokens = append(tokens, w)
+	}
+	for _, r := range s {
+		// Keep CWE-123 style identifiers intact by keeping digits and
+		// letters; hyphens and punctuation split tokens.
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(r)
+			continue
+		}
+		flush()
+	}
+	flush()
+	return tokens
+}
+
+// IsStopword reports whether w (lowercase) is in the stopword list.
+func IsStopword(w string) bool {
+	_, ok := stopwords[strings.ToLower(w)]
+	return ok
+}

@@ -1,0 +1,258 @@
+package textnorm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"hyphen", "internet-explorer", "internet explorer"},
+		{"underscore", "internet_explorer", "internet explorer"},
+		{"space", "internet explorer", "internet explorer"},
+		{"bang", "avast!", "avast"},
+		{"mixed case", "Internet-Explorer", "internet explorer"},
+		{"digits kept", "ucs-e160dp-m1_firmware", "ucs e160dp m1 firmware"},
+		{"empty", "", ""},
+		{"only specials", "!!__--", ""},
+		{"leading special", "_lynx", "lynx"},
+		{"trailing special", "lynx_", "lynx"},
+		{"consecutive specials", "a__b", "a b"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := strings.Join(Tokenize(tt.in), " ")
+			if got != tt.want {
+				t.Errorf("Tokenize(%q) = %q, want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCanonicalTokensEquivalence(t *testing.T) {
+	// The three paper spellings of Internet Explorer must collide.
+	forms := []string{"internet-explorer", "internet_explorer", "internet explorer", "Internet Explorer"}
+	want := CanonicalTokens(forms[0])
+	for _, f := range forms[1:] {
+		if got := CanonicalTokens(f); got != want {
+			t.Errorf("CanonicalTokens(%q) = %q, want %q", f, got, want)
+		}
+	}
+}
+
+func TestStripSpecial(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"avast!", "avast"},
+		{"bea_systems", "beasystems"},
+		{"BEA Systems", "beasystems"},
+		{"", ""},
+		{"a-b-c", "abc"},
+	}
+	for _, tt := range tests {
+		if got := StripSpecial(tt.in); got != tt.want {
+			t.Errorf("StripSpecial(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAbbreviation(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"internet-explorer", "ie"},
+		{"lan_management_system", "lms"},
+		{"single", ""}, // single token: no abbreviation
+		{"", ""},
+		{"tbe banner engine", "tbe"},
+	}
+	for _, tt := range tests {
+		if got := Abbreviation(tt.in); got != tt.want {
+			t.Errorf("Abbreviation(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLongestCommonSubstring(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"microsoft", "microsft", 6}, // "micros"
+		{"bea", "bea_systems", 3},
+		{"abc", "xyz", 0},
+		{"", "abc", 0},
+		{"abc", "", 0},
+		{"same", "same", 4},
+		{"Lynx", "lynx_project", 4}, // case-insensitive
+		{"ab", "ba", 1},
+	}
+	for _, tt := range tests {
+		if got := LongestCommonSubstring(tt.a, tt.b); got != tt.want {
+			t.Errorf("LCS(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLongestCommonSubstringSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return LongestCommonSubstring(a, b) == LongestCommonSubstring(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongestCommonSubstringBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		got := LongestCommonSubstring(a, b)
+		return got >= 0 && got <= len(a) && got <= len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"microsoft", "microsft", 1},
+		{"tbe_banner_engine", "the_banner_engine", 1},
+		{"ucs-e160dp-m1_firmware", "ucs-e140dp-m1_firmware", 1},
+		{"kitten", "sitting", 3},
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+	}
+	for _, tt := range tests {
+		if got := EditDistance(tt.a, tt.b); got != tt.want {
+			t.Errorf("EditDistance(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestEditDistanceMetricProperties(t *testing.T) {
+	sym := func(a, b string) bool {
+		return EditDistance(a, b) == EditDistance(b, a)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(a string) bool { return EditDistance(a, a) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	triangle := func(a, b, c string) bool {
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+}
+
+func TestWithinEditDistance(t *testing.T) {
+	if !WithinEditDistance("abc", "abd", 1) {
+		t.Error("abc/abd should be within distance 1")
+	}
+	if WithinEditDistance("abc", "abcdef", 1) {
+		t.Error("length gap 3 cannot be within distance 1")
+	}
+	if WithinEditDistance("kitten", "sitting", 2) {
+		t.Error("kitten/sitting is distance 3")
+	}
+}
+
+func TestIsPrefix(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"lynx", "lynx_project", true},
+		{"lynx_project", "lynx", true},
+		{"Lynx", "lynx_project", true},
+		{"lynx", "lynx", false}, // strict: identical names are not a prefix pair
+		{"abc", "xyz", false},
+	}
+	for _, tt := range tests {
+		if got := IsPrefix(tt.a, tt.b); got != tt.want {
+			t.Errorf("IsPrefix(%q, %q) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestPresentTense(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"used", "use"},
+		{"accessed", "access"},
+		{"permitted", "permit"},
+		{"found", "find"},
+		{"denied", "deny"},
+		{"was", "is"},
+		{"run", "run"},
+		{"overflow", "overflow"},
+	}
+	for _, tt := range tests {
+		if got := PresentTense(tt.in); got != tt.want {
+			t.Errorf("PresentTense(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPreprocessDescription(t *testing.T) {
+	got := PreprocessDescription("This capability can be accessed")
+	want := []string{"capability", "access"}
+	if len(got) != len(want) {
+		t.Fatalf("PreprocessDescription = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPreprocessDescriptionPossessive(t *testing.T) {
+	got := PreprocessDescription("the identifier's value")
+	joined := strings.Join(got, " ")
+	if strings.Contains(joined, "identifiers") {
+		t.Errorf("possessive not stripped: %v", got)
+	}
+	if !strings.Contains(joined, "identifier") {
+		t.Errorf("base word missing: %v", got)
+	}
+}
+
+func TestPreprocessKeepsDomainTerms(t *testing.T) {
+	got := strings.Join(PreprocessDescription("SQL injection in the login page allows remote attackers"), " ")
+	for _, w := range []string{"sql", "injection", "login", "remote", "attacker"} {
+		if !strings.Contains(got, w) {
+			t.Errorf("domain term %q dropped: %v", w, got)
+		}
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("The") {
+		t.Error("The should be a stopword")
+	}
+	if IsStopword("overflow") {
+		t.Error("overflow should not be a stopword")
+	}
+}
+
+func BenchmarkEditDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		EditDistance("ucs-e160dp-m1_firmware", "ucs-e140dp-m1_firmware")
+	}
+}
+
+func BenchmarkLongestCommonSubstring(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		LongestCommonSubstring("lan_management_system", "lms_management")
+	}
+}

@@ -1,0 +1,194 @@
+// Package webcorpus simulates the reference-URL web the paper scraped
+// for disclosure dates (§4.1): for every reference URL in a snapshot it
+// serves an advisory/bug/archive page whose HTML layout depends on the
+// domain (five distinct page formats), embedding the page's publication
+// date among realistic distractor dates. Dead domains (osvdb.org et al.)
+// fail at the connection level.
+//
+// The corpus is exposed two ways: as an http.RoundTripper for fast,
+// deterministic in-process crawling through a real *http.Client, and as
+// an http.Handler for serving over a socket in examples.
+package webcorpus
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"nvdclean/internal/cve"
+	"nvdclean/internal/gen"
+)
+
+// Corpus is the synthetic web for one snapshot.
+type Corpus struct {
+	// pageDate maps full reference URL to the date its page displays.
+	pageDate map[string]time.Time
+	// domains indexes the domain registry by host.
+	domains map[string]gen.Domain
+}
+
+// New indexes every reference of the snapshot. Reference pages display
+// gen.RefPageDate: the first (primary advisory) reference carries the
+// exact disclosure date, later ones a deterministic repost offset.
+func New(snap *cve.Snapshot, disclosure map[string]time.Time) *Corpus {
+	c := &Corpus{
+		pageDate: make(map[string]time.Time),
+		domains:  make(map[string]gen.Domain),
+	}
+	for _, d := range gen.Domains() {
+		c.domains[d.Host] = d
+	}
+	for _, e := range snap.Entries {
+		disc, ok := disclosure[e.ID]
+		if !ok {
+			continue
+		}
+		for i, r := range e.References {
+			d := gen.RefPageDate(r.URL, disc, i == 0)
+			// A URL can be referenced by several CVEs; the page keeps
+			// its earliest date.
+			if prev, ok := c.pageDate[r.URL]; !ok || d.Before(prev) {
+				c.pageDate[r.URL] = d
+			}
+		}
+	}
+	return c
+}
+
+// NumPages returns the number of crawlable pages.
+func (c *Corpus) NumPages() int { return len(c.pageDate) }
+
+// Domain returns the registry entry for host.
+func (c *Corpus) Domain(host string) (gen.Domain, bool) {
+	d, ok := c.domains[host]
+	return d, ok
+}
+
+// Transport returns an http.RoundTripper that answers requests from the
+// corpus in-process. Requests to dead domains fail with a synthetic
+// connection error; unknown pages return 404.
+func (c *Corpus) Transport() http.RoundTripper {
+	return transport{c}
+}
+
+type transport struct{ c *Corpus }
+
+// RoundTrip implements http.RoundTripper.
+func (t transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Hostname()
+	d, ok := t.c.domains[host]
+	if !ok || d.Dead {
+		return nil, fmt.Errorf("webcorpus: dial tcp %s:443: no route to host", host)
+	}
+	url := req.URL.Scheme + "://" + req.URL.Host + req.URL.Path
+	date, ok := t.c.pageDate[url]
+	if !ok {
+		return response(req, http.StatusNotFound, "<html><body>Not Found</body></html>"), nil
+	}
+	body := RenderPage(d, cveIDFromPath(req.URL.Path), date)
+	return response(req, http.StatusOK, body), nil
+}
+
+func response(req *http.Request, status int, body string) *http.Response {
+	return &http.Response{
+		StatusCode:    status,
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"text/html; charset=utf-8"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// Handler returns an http.Handler for socket-based serving. The target
+// host is taken from the Host header, so a single listener can serve
+// the whole corpus (point the crawler's transport at it).
+func (c *Corpus) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		host := r.Host
+		if i := strings.IndexByte(host, ':'); i >= 0 {
+			host = host[:i]
+		}
+		d, ok := c.domains[host]
+		if !ok || d.Dead {
+			http.Error(w, "no such host", http.StatusBadGateway)
+			return
+		}
+		url := "https://" + host + r.URL.Path
+		date, ok := c.pageDate[url]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, RenderPage(d, cveIDFromPath(r.URL.Path), date))
+	})
+}
+
+func cveIDFromPath(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// RenderPage produces the HTML for one vulnerability page in the
+// domain's format. Pages deliberately contain distractor dates (site
+// update stamps, copyright years) so extractors must target the right
+// field, as the paper's per-domain crawlers had to.
+func RenderPage(d gen.Domain, cveID string, date time.Time) string {
+	var b bytes.Buffer
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "<title>%s - %s</title>\n", cveID, d.Host)
+	if d.Format == gen.FormatMeta {
+		fmt.Fprintf(&b, "<meta name=\"date\" content=%q>\n", date.Format("2006-01-02"))
+	}
+	// Distractor: generator/build stamp after the true date.
+	fmt.Fprintf(&b, "<meta name=\"generator-build\" content=%q>\n",
+		date.AddDate(1, 2, 3).Format("2006-01-02"))
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>Vulnerability report for %s</h1>\n", cveID)
+
+	switch d.Format {
+	case gen.FormatTable:
+		b.WriteString("<table class=\"vulninfo\">\n")
+		fmt.Fprintf(&b, "<tr><td>Bugtraq ID:</td><td>%d</td></tr>\n", 10000+len(cveID)*137)
+		fmt.Fprintf(&b, "<tr><td>Published:</td><td>%s</td></tr>\n", date.Format("02 Jan 2006"))
+		fmt.Fprintf(&b, "<tr><td>Updated:</td><td>%s</td></tr>\n",
+			date.AddDate(0, 3, 11).Format("02 Jan 2006"))
+		fmt.Fprintf(&b, "<tr><td>CVE:</td><td>%s</td></tr>\n", cveID)
+		b.WriteString("</table>\n")
+	case gen.FormatText:
+		fmt.Fprintf(&b, "<p>Advisory for %s.</p>\n", cveID)
+		fmt.Fprintf(&b, "<p>Published: %s</p>\n", date.Format("January 2, 2006"))
+		fmt.Fprintf(&b, "<p>Last revised: %s</p>\n",
+			date.AddDate(0, 1, 4).Format("January 2, 2006"))
+	case gen.FormatISO:
+		fmt.Fprintf(&b, "<p>Advisory published <time datetime=%q>%s</time>.</p>\n",
+			date.Format("2006-01-02"), date.Format("Jan 2, 2006"))
+		fmt.Fprintf(&b, "<p>Page generated <span class=\"gen\">%s</span>.</p>\n",
+			date.AddDate(0, 6, 0).Format("2006-01-02 15:04"))
+	case gen.FormatJapanese:
+		fmt.Fprintf(&b, "<p>公開日: <span class=\"published\">%s</span></p>\n",
+			formatJapanese(date))
+		fmt.Fprintf(&b, "<p>最終更新日: %s</p>\n", formatJapanese(date.AddDate(0, 2, 9)))
+	case gen.FormatMeta:
+		fmt.Fprintf(&b, "<p>Tracking entry for %s, see header metadata for dates.</p>\n", cveID)
+	}
+
+	fmt.Fprintf(&b, "<div class=\"footer\">Copyright %d %s</div>\n",
+		date.Year()+1, d.Host)
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// formatJapanese renders 2006年01月02日.
+func formatJapanese(t time.Time) string {
+	return fmt.Sprintf("%04d年%02d月%02d日", t.Year(), int(t.Month()), t.Day())
+}

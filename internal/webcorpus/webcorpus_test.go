@@ -1,0 +1,228 @@
+package webcorpus
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nvdclean/internal/gen"
+)
+
+func buildCorpus(t testing.TB) (*Corpus, *genData) {
+	t.Helper()
+	snap, truth, _, err := gen.Generate(gen.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(snap, truth.Disclosure), &genData{snap: snap, truth: truth}
+}
+
+type genData struct {
+	snap  interface{ Len() int }
+	truth *gen.Truth
+}
+
+func TestCorpusIndexesAllReferences(t *testing.T) {
+	snap, truth, _, err := gen.Generate(gen.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(snap, truth.Disclosure)
+	var refs int
+	for _, e := range snap.Entries {
+		refs += len(e.References)
+	}
+	if c.NumPages() != refs {
+		t.Errorf("pages = %d, references = %d", c.NumPages(), refs)
+	}
+}
+
+func TestTransportServesPrimaryRefWithDisclosureDate(t *testing.T) {
+	snap, truth, _, err := gen.Generate(gen.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(snap, truth.Disclosure)
+	client := &http.Client{Transport: c.Transport()}
+
+	var checked int
+	for _, e := range snap.Entries {
+		if len(e.References) == 0 {
+			continue
+		}
+		url := e.References[0].URL
+		host := strings.TrimPrefix(url, "https://")
+		host = host[:strings.Index(host, "/")]
+		d, ok := c.Domain(host)
+		if !ok {
+			t.Fatalf("unknown domain %s", host)
+		}
+		if d.Dead {
+			continue
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", url, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("Get(%s) = %d", url, resp.StatusCode)
+		}
+		disc := truth.Disclosure[e.ID]
+		if !containsDate(string(body), d, disc) {
+			t.Fatalf("page %s does not contain disclosure date %v:\n%s", url, disc, body)
+		}
+		checked++
+		if checked >= 25 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no live primary references checked")
+	}
+}
+
+// containsDate checks the page body shows the date in the domain's
+// format.
+func containsDate(body string, d gen.Domain, date time.Time) bool {
+	switch d.Format {
+	case gen.FormatMeta:
+		return strings.Contains(body, `<meta name="date" content="`+date.Format("2006-01-02")+`"`)
+	case gen.FormatTable:
+		return strings.Contains(body, "<td>Published:</td><td>"+date.Format("02 Jan 2006")+"</td>")
+	case gen.FormatText:
+		return strings.Contains(body, "Published: "+date.Format("January 2, 2006"))
+	case gen.FormatISO:
+		return strings.Contains(body, `<time datetime="`+date.Format("2006-01-02")+`"`)
+	case gen.FormatJapanese:
+		return strings.Contains(body, formatJapanese(date))
+	}
+	return false
+}
+
+func TestTransportDeadDomain(t *testing.T) {
+	c, _ := buildCorpus(t)
+	client := &http.Client{Transport: c.Transport()}
+	var dead gen.Domain
+	for _, d := range gen.Domains() {
+		if d.Dead {
+			dead = d
+			break
+		}
+	}
+	if dead.Host == "" {
+		t.Fatal("no dead domain in registry")
+	}
+	_, err := client.Get("https://" + dead.Host + "/vuln/CVE-2010-0001")
+	if err == nil {
+		t.Error("dead domain fetch should fail")
+	}
+}
+
+func TestTransportUnknownPage404(t *testing.T) {
+	c, _ := buildCorpus(t)
+	client := &http.Client{Transport: c.Transport()}
+	var live gen.Domain
+	for _, d := range gen.Domains() {
+		if !d.Dead {
+			live = d
+			break
+		}
+	}
+	resp, err := client.Get("https://" + live.Host + "/vuln/CVE-1999-99999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestTransportUnknownHost(t *testing.T) {
+	c, _ := buildCorpus(t)
+	client := &http.Client{Transport: c.Transport()}
+	if _, err := client.Get("https://nonexistent.example.zz/vuln/CVE-2010-0001"); err == nil {
+		t.Error("unknown host should fail")
+	}
+}
+
+func TestHandlerOverSocket(t *testing.T) {
+	snap, truth, _, err := gen.Generate(gen.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(snap, truth.Disclosure)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// Find a live reference and request it through the socket with the
+	// original host in the Host header.
+	for _, e := range snap.Entries {
+		if len(e.References) == 0 {
+			continue
+		}
+		url := e.References[0].URL
+		host := strings.TrimPrefix(url, "https://")
+		path := host[strings.Index(host, "/"):]
+		host = host[:strings.Index(host, "/")]
+		if d, _ := c.Domain(host); d.Dead {
+			continue
+		}
+		req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Host = host
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("socket fetch = %d", resp.StatusCode)
+		}
+		if !strings.Contains(string(body), e.ID) {
+			t.Fatalf("page body missing CVE id")
+		}
+		return
+	}
+	t.Fatal("no live reference found")
+}
+
+func TestRenderPageDistractors(t *testing.T) {
+	d := gen.Domain{Host: "x.example.com", Category: gen.CategoryVulnDB, Format: gen.FormatTable}
+	date := time.Date(2014, 4, 7, 0, 0, 0, 0, time.UTC)
+	body := RenderPage(d, "CVE-2014-0160", date)
+	if !strings.Contains(body, "07 Apr 2014") {
+		t.Error("published date missing")
+	}
+	// The Updated distractor must be present and differ.
+	if !strings.Contains(body, "<td>Updated:</td>") {
+		t.Error("updated distractor missing")
+	}
+	if !strings.Contains(body, "Copyright 2015") {
+		t.Error("copyright distractor missing")
+	}
+}
+
+func TestFormatJapanese(t *testing.T) {
+	got := formatJapanese(time.Date(2014, 4, 7, 0, 0, 0, 0, time.UTC))
+	if got != "2014年04月07日" {
+		t.Errorf("formatJapanese = %q", got)
+	}
+}
+
+func BenchmarkRenderPage(b *testing.B) {
+	d := gen.Domains()[0]
+	date := time.Date(2014, 4, 7, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RenderPage(d, "CVE-2014-0160", date)
+	}
+}

