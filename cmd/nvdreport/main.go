@@ -32,14 +32,15 @@ func main() {
 
 func run() error {
 	var (
-		scale     = flag.String("scale", "small", "snapshot scale: paper, small, tiny")
-		seed      = flag.Int64("seed", 1, "generator seed")
-		epochs    = flag.Int("epochs", 40, "training epochs for the deep models")
-		compact   = flag.Bool("compact", true, "use compact (fast) neural models")
-		lrOnly    = flag.Bool("lr-only", false, "train only the linear model")
-		only      = flag.String("only", "", "comma-separated experiment ids to run")
-		ablations = flag.Bool("ablations", false, "also run the design-choice ablations")
-		timeout   = flag.Duration("timeout", time.Hour, "overall deadline")
+		scale       = flag.String("scale", "small", "snapshot scale: paper, small, tiny")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		epochs      = flag.Int("epochs", 40, "training epochs for the deep models")
+		compact     = flag.Bool("compact", true, "use compact (fast) neural models")
+		lrOnly      = flag.Bool("lr-only", false, "train only the linear model")
+		only        = flag.String("only", "", "comma-separated experiment ids to run")
+		ablations   = flag.Bool("ablations", false, "also run the design-choice ablations")
+		timeout     = flag.Duration("timeout", time.Hour, "overall deadline")
+		concurrency = flag.Int("concurrency", 0, "worker bound for every stage (0: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -62,7 +63,7 @@ func run() error {
 	opts := experiments.Options{
 		Scale:       cfg,
 		ModelConfig: predict.ModelConfig{Epochs: *epochs, Compact: *compact, Seed: *seed},
-		Concurrency: 16,
+		Concurrency: *concurrency,
 	}
 	if *lrOnly {
 		opts.Models = []predict.ModelKind{predict.ModelLR}
@@ -81,6 +82,17 @@ func run() error {
 		if id = strings.TrimSpace(id); id != "" {
 			wanted[id] = true
 		}
+	}
+	if len(wanted) == 0 && !*ablations {
+		// Full run: render every experiment in parallel, print in
+		// paper order.
+		for _, r := range suite.RenderAll() {
+			if r.Err != nil {
+				return fmt.Errorf("%s: %w", r.ID, r.Err)
+			}
+			fmt.Printf("=== %s — %s ===\n%s\n", r.ID, r.Title, r.Output)
+		}
+		return nil
 	}
 	exps := suite.All()
 	if *ablations {

@@ -1,0 +1,3 @@
+module nvdclean
+
+go 1.24

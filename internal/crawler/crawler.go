@@ -13,6 +13,7 @@ import (
 
 	"nvdclean/internal/cve"
 	"nvdclean/internal/gen"
+	"nvdclean/internal/parallel"
 )
 
 // Stats accounts for a crawl, mirroring the coverage discussion of §4.1
@@ -32,7 +33,7 @@ type Stats struct {
 	HTTPErrors int
 }
 
-// add merges per-URL outcomes; guarded by the crawler's mutex.
+// add merges per-URL outcomes.
 func (s *Stats) add(o Stats) {
 	s.URLs += o.URLs
 	s.Skipped += o.Skipped
@@ -50,7 +51,8 @@ type Config struct {
 	// TopK restricts crawling to the TopK most popular domains
 	// (paper: 50). Zero means 50.
 	TopK int
-	// Concurrency is the number of parallel fetch workers. Zero means 8.
+	// Concurrency is the number of parallel fetch workers. Zero means
+	// GOMAXPROCS, the pipeline-wide default.
 	Concurrency int
 	// Timeout bounds each fetch. Zero means 10s.
 	Timeout time.Duration
@@ -63,6 +65,18 @@ type Crawler struct {
 	cfg        Config
 	client     *http.Client
 	extractors map[string]Extractor // host -> extractor, top-K only
+
+	// memo caches per-URL fetch outcomes: the same advisory URL is
+	// referenced by many CVEs, and its page yields the same date every
+	// time. Stats still count every occurrence, so aggregate accounting
+	// matches an uncached crawl exactly.
+	memo sync.Map // url -> fetchOutcome
+}
+
+// fetchOutcome is one URL's memoized crawl result.
+type fetchOutcome struct {
+	date time.Time
+	st   Stats
 }
 
 // New validates cfg and builds the per-domain extractor set.
@@ -73,18 +87,20 @@ func New(cfg Config) (*Crawler, error) {
 	if cfg.TopK <= 0 {
 		cfg.TopK = 50
 	}
-	if cfg.Concurrency <= 0 {
-		cfg.Concurrency = 8
-	}
+	cfg.Concurrency = parallel.Workers(cfg.Concurrency)
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	// Per-fetch timeouts come from a context deadline in fetchDate
+	// rather than http.Client.Timeout: the client's timeout machinery
+	// arms three cancel paths per request, which dominates the cost of
+	// fast in-process fetches.
 	c := &Crawler{
 		cfg:        cfg,
-		client:     &http.Client{Transport: cfg.Transport, Timeout: cfg.Timeout},
+		client:     &http.Client{Transport: cfg.Transport},
 		extractors: make(map[string]Extractor),
 	}
 	for i, d := range gen.Domains() {
@@ -106,7 +122,7 @@ func (c *Crawler) fetchDate(ctx context.Context, rawURL string) (time.Time, Stat
 	var st Stats
 	st.URLs = 1
 	u, err := url.Parse(rawURL)
-	if err != nil {
+	if err != nil || u.Scheme == "" || u.Host == "" {
 		st.Skipped = 1
 		return time.Time{}, st
 	}
@@ -115,11 +131,20 @@ func (c *Crawler) fetchDate(ctx context.Context, rawURL string) (time.Time, Stat
 		st.Skipped = 1
 		return time.Time{}, st
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
-	if err != nil {
-		st.Skipped = 1
-		return time.Time{}, st
+	if c.cfg.Timeout > 0 {
+		fctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+		defer cancel()
+		ctx = fctx
 	}
+	// The URL is already parsed; building the request directly avoids
+	// a second url.Parse per fetch.
+	req := (&http.Request{
+		Method: http.MethodGet,
+		URL:    u,
+		Proto:  "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+		Header: make(http.Header),
+		Host:   u.Host,
+	}).WithContext(ctx)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		st.DeadDomain = 1
@@ -144,6 +169,25 @@ func (c *Crawler) fetchDate(ctx context.Context, rawURL string) (time.Time, Stat
 	return date, st
 }
 
+// fetchDateCached is fetchDate memoized per URL. Only deterministic
+// outcomes are cached — successful fetches and out-of-scope skips; a
+// transient failure (dead connection, HTTP error, timeout) is retried
+// on the URL's next occurrence rather than poisoning the whole crawl.
+// Cached outcomes carry the single-occurrence stats, which are
+// re-counted per reference, so aggregate stats match an uncached
+// crawl.
+func (c *Crawler) fetchDateCached(ctx context.Context, rawURL string) (time.Time, Stats) {
+	if v, ok := c.memo.Load(rawURL); ok {
+		o := v.(fetchOutcome)
+		return o.date, o.st
+	}
+	d, st := c.fetchDate(ctx, rawURL)
+	if (st.Fetched == 1 || st.Skipped == 1) && ctx.Err() == nil {
+		c.memo.Store(rawURL, fetchOutcome{date: d, st: st})
+	}
+	return d, st
+}
+
 // Estimate computes the estimated disclosure date for one entry: the
 // minimum of the dates extracted from its reference URLs and the NVD
 // publication date (§4.1).
@@ -151,7 +195,7 @@ func (c *Crawler) Estimate(ctx context.Context, e *cve.Entry) (time.Time, Stats)
 	best := e.Published
 	var st Stats
 	for _, r := range e.References {
-		d, s := c.fetchDate(ctx, r.URL)
+		d, s := c.fetchDateCached(ctx, r.URL)
 		st.add(s)
 		if !d.IsZero() && d.Before(best) {
 			best = d
@@ -169,36 +213,40 @@ type Result struct {
 	LagDays int
 }
 
-// EstimateAll crawls every entry of the snapshot with the configured
-// concurrency and returns per-CVE results (sorted by ID order of the
-// snapshot) plus aggregate stats.
+// EstimateAll crawls every entry of the snapshot on a bounded worker
+// pool of the configured concurrency and returns per-CVE results
+// (in snapshot order) plus aggregate stats. Each entry writes only its
+// own result and stats slot; the stats fold in entry order afterward,
+// so the outcome is identical at any concurrency.
 func (c *Crawler) EstimateAll(ctx context.Context, snap *cve.Snapshot) ([]Result, Stats, error) {
 	results := make([]Result, len(snap.Entries))
-	var agg Stats
-	var mu sync.Mutex
-	sem := make(chan struct{}, c.cfg.Concurrency)
-	var wg sync.WaitGroup
-	for i, e := range snap.Entries {
+	perEntry := make([]Stats, len(snap.Entries))
+	err := parallel.ForErr(c.cfg.Concurrency, len(snap.Entries), func(i int) error {
 		if err := ctx.Err(); err != nil {
-			return nil, agg, fmt.Errorf("crawler: %w", err)
+			return fmt.Errorf("crawler: %w", err)
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, e *cve.Entry) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			est, st := c.Estimate(ctx, e)
-			lag := int(e.Published.Sub(est).Hours() / 24)
-			if lag < 0 {
-				lag = 0
+		e := snap.Entries[i]
+		est, st := c.Estimate(ctx, e)
+		lag := int(e.Published.Sub(est).Hours() / 24)
+		if lag < 0 {
+			lag = 0
+		}
+		results[i] = Result{ID: e.ID, Estimated: est, LagDays: lag}
+		perEntry[i] = st
+		return nil
+	})
+	agg := parallel.OrderedReduce(c.cfg.Concurrency, len(perEntry), 1024, Stats{},
+		func(start, end int) Stats {
+			var s Stats
+			for i := start; i < end; i++ {
+				s.add(perEntry[i])
 			}
-			results[i] = Result{ID: e.ID, Estimated: est, LagDays: lag}
-			mu.Lock()
-			agg.add(st)
-			mu.Unlock()
-		}(i, e)
+			return s
+		},
+		func(acc, part Stats) Stats { acc.add(part); return acc })
+	if err != nil {
+		return nil, agg, err
 	}
-	wg.Wait()
 	return results, agg, nil
 }
 

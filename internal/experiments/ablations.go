@@ -29,7 +29,7 @@ func (s *Suite) AblationTopK(ctx context.Context) (string, error) {
 // AblationLCS sweeps the vendor-judge's longest-common-substring
 // threshold, the signifier Table 2 splits on.
 func (s *Suite) AblationLCS() (string, error) {
-	va := naming.AnalyzeVendors(s.Snap)
+	va := naming.AnalyzeVendorsN(s.Snap, s.Concurrency)
 	oracle := naming.OracleJudge{Canonical: s.Truth.CanonicalVendor}
 	var b strings.Builder
 	fmt.Fprintln(&b, "Ablation: LCS threshold for vendor-pair confirmation (paper: 3)")
@@ -105,11 +105,11 @@ func (s *Suite) AblationKNN() (string, error) {
 	// tractable at paper scale.
 	const maxDocs = 12000
 	for _, cfg := range []predict.TypeClassifierConfig{
-		{K: 1, Dim: 512, Seed: 3, MaxDocs: maxDocs},
-		{K: 3, Dim: 512, Seed: 3, MaxDocs: maxDocs},
-		{K: 5, Dim: 512, Seed: 3, MaxDocs: maxDocs},
-		{K: 1, Dim: 256, Seed: 3, MaxDocs: maxDocs},
-		{K: 1, Dim: 128, Seed: 3, MaxDocs: maxDocs},
+		{K: 1, Dim: 512, Seed: 3, MaxDocs: maxDocs, Workers: s.Concurrency},
+		{K: 3, Dim: 512, Seed: 3, MaxDocs: maxDocs, Workers: s.Concurrency},
+		{K: 5, Dim: 512, Seed: 3, MaxDocs: maxDocs, Workers: s.Concurrency},
+		{K: 1, Dim: 256, Seed: 3, MaxDocs: maxDocs, Workers: s.Concurrency},
+		{K: 1, Dim: 128, Seed: 3, MaxDocs: maxDocs, Workers: s.Concurrency},
 	} {
 		tc, acc, err := predict.TrainTypeClassifier(s.Snap, cfg)
 		if err != nil {

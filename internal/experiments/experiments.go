@@ -20,6 +20,7 @@ import (
 	"nvdclean/internal/gen"
 	"nvdclean/internal/naming"
 	"nvdclean/internal/otherdb"
+	"nvdclean/internal/parallel"
 	"nvdclean/internal/predict"
 	"nvdclean/internal/report"
 	"nvdclean/internal/stats"
@@ -34,6 +35,8 @@ type Suite struct {
 	Uni    *gen.Universe
 	Corpus *webcorpus.Corpus
 	Result *nvdclean.Result
+	// Concurrency bounds RenderAll's parallelism (zero: GOMAXPROCS).
+	Concurrency int
 }
 
 // Options tunes suite construction.
@@ -44,7 +47,9 @@ type Options struct {
 	Models []predict.ModelKind
 	// ModelConfig tunes training cost.
 	ModelConfig predict.ModelConfig
-	// Concurrency for the crawl.
+	// Concurrency bounds the parallelism of every pipeline stage and
+	// of RenderAll. Zero means GOMAXPROCS; suite artifacts and
+	// rendered experiments are identical at any setting.
 	Concurrency int
 }
 
@@ -68,7 +73,7 @@ func NewSuite(ctx context.Context, opts Options) (*Suite, error) {
 	}
 	return &Suite{
 		Cfg: opts.Scale, Snap: snap, Truth: truth, Uni: uni,
-		Corpus: corpus, Result: res,
+		Corpus: corpus, Result: res, Concurrency: opts.Concurrency,
 	}, nil
 }
 
@@ -108,6 +113,31 @@ func (s *Suite) All() []Experiment {
 		{"cwefix", "CWE field correction summary", s.CWEFix},
 		{"importance", "Severity-model feature importance", s.Importance},
 	}
+}
+
+// Rendered is one experiment's computed output.
+type Rendered struct {
+	ID, Title, Output string
+	Err               error
+}
+
+// RenderAll computes every experiment concurrently — each render reads
+// only the suite's shared artifacts — and returns the results in paper
+// order. Outputs are identical to rendering serially; only wall-clock
+// time changes with the worker bound. Note the bound is per level:
+// renders fan out at Concurrency, and the few prediction-heavy renders
+// additionally use the engine's own worker bound internally, so peak
+// goroutine count can exceed Concurrency while each stage stays
+// bounded.
+func (s *Suite) RenderAll() []Rendered {
+	exps := s.All()
+	out := make([]Rendered, len(exps))
+	parallel.For(s.Concurrency, len(exps), func(i int) {
+		r := Rendered{ID: exps[i].ID, Title: exps[i].Title}
+		r.Output, r.Err = exps[i].Render()
+		out[i] = r
+	})
+	return out
 }
 
 // Importance renders the §4.3 feature-influence finding ("the
@@ -155,7 +185,7 @@ func (s *Suite) Fig1() (string, error) {
 // Table2 renders the vendor-pattern taxonomy, using the generator's
 // ground truth as the confirmation oracle (the paper's manual vetting).
 func (s *Suite) Table2() (string, error) {
-	va := naming.AnalyzeVendors(s.Snap)
+	va := naming.AnalyzeVendorsN(s.Snap, s.Concurrency)
 	tbl := naming.BuildTable2(va, naming.OracleJudge{Canonical: s.Truth.CanonicalVendor})
 	var b strings.Builder
 	if err := report.Table2(&b, tbl); err != nil {
@@ -448,7 +478,7 @@ func (s *Suite) CrawlResults(ctx context.Context, topK int) (crawler.Stats, erro
 	c, err := crawler.New(crawler.Config{
 		Transport:   s.Corpus.Transport(),
 		TopK:        topK,
-		Concurrency: 16,
+		Concurrency: s.Concurrency,
 	})
 	if err != nil {
 		return crawler.Stats{}, err

@@ -4,8 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+
+	"nvdclean/internal/parallel"
 )
+
+// knnChunk is the fixed training-point chunk size for parallel
+// neighbor scans. It depends only on the constant, never on the worker
+// count, so the per-chunk heaps and their ordered merge are identical
+// at any concurrency.
+const knnChunk = 2048
 
 // KNN is a k-nearest-neighbor classifier over dense float vectors with
 // Euclidean distance. The paper's §4.4 CWE type classifier uses k = 1
@@ -13,6 +20,10 @@ import (
 type KNN struct {
 	// K is the neighbor count; zero means 1 (the paper's best setting).
 	K int
+	// Workers bounds the parallelism of Predict, PredictBatch and
+	// Accuracy. Zero means GOMAXPROCS; results are identical at any
+	// setting.
+	Workers int
 
 	points [][]float64
 	labels []int
@@ -39,9 +50,72 @@ func (k *KNN) Fit(x [][]float64, labels []int) error {
 	return nil
 }
 
+// cand is one neighbor candidate ordered by (dist, label).
+type cand struct {
+	dist  float64
+	label int
+}
+
+// less orders candidates: nearer first, smaller label on distance ties
+// (the classifier's deterministic tie-break).
+func (c cand) less(o cand) bool {
+	if c.dist != o.dist {
+		return c.dist < o.dist
+	}
+	return c.label < o.label
+}
+
+// boundedHeap keeps the k smallest candidates seen, as a max-heap keyed
+// by (dist, label) so the current worst sits at the root.
+type boundedHeap struct {
+	k int
+	h []cand
+}
+
+func (b *boundedHeap) push(c cand) {
+	if len(b.h) < b.k {
+		b.h = append(b.h, c)
+		// Sift up.
+		i := len(b.h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !b.h[p].less(b.h[i]) {
+				break
+			}
+			b.h[p], b.h[i] = b.h[i], b.h[p]
+			i = p
+		}
+		return
+	}
+	if !c.less(b.h[0]) {
+		return
+	}
+	// Replace the root and sift down.
+	b.h[0] = c
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(b.h) && b.h[big].less(b.h[l]) {
+			big = l
+		}
+		if r < len(b.h) && b.h[big].less(b.h[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		b.h[i], b.h[big] = b.h[big], b.h[i]
+		i = big
+	}
+}
+
 // Predict returns the majority label among the k nearest training
 // points. Distance ties and vote ties resolve toward the smaller label
-// for determinism.
+// for determinism. The training-point scan is chunked across workers;
+// because the k-best set under the (dist, label) total order is unique
+// as a multiset, merging per-chunk heaps gives exactly the serial
+// answer.
 func (k *KNN) Predict(row []float64) (int, error) {
 	if k.points == nil {
 		return 0, errors.New("ml: model is not fitted")
@@ -56,37 +130,29 @@ func (k *KNN) Predict(row []float64) (int, error) {
 	if kk > len(k.points) {
 		kk = len(k.points)
 	}
-	type cand struct {
-		dist  float64
-		label int
+	n := len(k.points)
+	chunks := parallel.NumChunks(n, knnChunk)
+	heaps := make([]boundedHeap, chunks)
+	workers := k.Workers
+	if chunks == 1 {
+		workers = 1
 	}
-	// Partial selection via a bounded insertion list: kk is small (≤ a
-	// few dozen) so insertion into a sorted slice beats a full sort.
-	best := make([]cand, 0, kk+1)
-	for i, p := range k.points {
-		d := sqDist(row, p)
-		if len(best) == kk {
-			last := best[kk-1]
-			if d > last.dist || (d == last.dist && k.labels[i] >= last.label) {
-				continue
-			}
+	parallel.ForRange(workers, n, knnChunk, func(start, end int) {
+		h := boundedHeap{k: kk, h: make([]cand, 0, kk)}
+		for i := start; i < end; i++ {
+			h.push(cand{dist: sqDist(row, k.points[i]), label: k.labels[i]})
 		}
-		c := cand{dist: d, label: k.labels[i]}
-		pos := sort.Search(len(best), func(j int) bool {
-			if best[j].dist != c.dist {
-				return best[j].dist > c.dist
-			}
-			return best[j].label > c.label
-		})
-		best = append(best, cand{})
-		copy(best[pos+1:], best[pos:])
-		best[pos] = c
-		if len(best) > kk {
-			best = best[:kk]
+		heaps[start/knnChunk] = h
+	})
+	// Ordered merge of the per-chunk k-bests into the global k-best.
+	best := boundedHeap{k: kk, h: make([]cand, 0, kk)}
+	for _, h := range heaps {
+		for _, c := range h.h {
+			best.push(c)
 		}
 	}
 	votes := make(map[int]int, kk)
-	for _, c := range best {
+	for _, c := range best.h {
 		votes[c.label]++
 	}
 	winner, winVotes := 0, -1
@@ -96,6 +162,25 @@ func (k *KNN) Predict(row []float64) (int, error) {
 		}
 	}
 	return winner, nil
+}
+
+// PredictBatch classifies many rows, fanning the rows out across the
+// configured workers. Row i of the result corresponds to rows[i].
+func (k *KNN) PredictBatch(rows [][]float64) ([]int, error) {
+	if k.points == nil {
+		return nil, errors.New("ml: model is not fitted")
+	}
+	out := make([]int, len(rows))
+	inner := *k
+	inner.Workers = 1 // row-level parallelism only; avoid nested fan-out
+	return out, parallel.ForErr(k.Workers, len(rows), func(i int) error {
+		p, err := inner.Predict(rows[i])
+		if err != nil {
+			return err
+		}
+		out[i] = p
+		return nil
+	})
 }
 
 // NumPoints returns the stored training-set size.
@@ -111,7 +196,9 @@ func sqDist(a, b []float64) float64 {
 }
 
 // Accuracy is a convenience that scores a fitted classifier on a test
-// set, returning the fraction of correct predictions.
+// set, returning the fraction of correct predictions. Rows score in
+// parallel across the configured workers; the hit count is an integer
+// reduction, so the result is identical at any concurrency.
 func (k *KNN) Accuracy(x [][]float64, labels []int) (float64, error) {
 	if len(x) != len(labels) {
 		return 0, fmt.Errorf("ml: %d rows but %d labels", len(x), len(labels))
@@ -119,13 +206,13 @@ func (k *KNN) Accuracy(x [][]float64, labels []int) (float64, error) {
 	if len(x) == 0 {
 		return math.NaN(), nil
 	}
+	preds, err := k.PredictBatch(x)
+	if err != nil {
+		return 0, err
+	}
 	var correct int
-	for i, row := range x {
-		pred, err := k.Predict(row)
-		if err != nil {
-			return 0, err
-		}
-		if pred == labels[i] {
+	for i, p := range preds {
+		if p == labels[i] {
 			correct++
 		}
 	}

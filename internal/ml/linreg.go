@@ -3,6 +3,8 @@ package ml
 import (
 	"errors"
 	"fmt"
+
+	"nvdclean/internal/parallel"
 )
 
 // LinearRegression is an ordinary-least-squares regressor with an
@@ -13,6 +15,9 @@ type LinearRegression struct {
 	// applied during Fit to keep the normal equations well-conditioned
 	// on collinear one-hot features.
 	Ridge float64
+	// Workers bounds the parallelism of Fit's matrix kernels. Zero
+	// means GOMAXPROCS; the fit is bit-identical at any setting.
+	Workers int
 
 	weights []float64 // weights[0] is the intercept
 }
@@ -26,17 +31,56 @@ func (lr *LinearRegression) Fit(x [][]float64, y []float64) error {
 		return fmt.Errorf("ml: %d rows but %d targets", len(x), len(y))
 	}
 	d := len(x[0])
-	// Design matrix with a leading 1 column for the intercept.
-	design := NewMatrix(len(x), d+1)
 	for i, row := range x {
 		if len(row) != d {
 			return fmt.Errorf("ml: ragged feature row %d", i)
 		}
-		dst := design.Row(i)
-		dst[0] = 1
-		copy(dst[1:], row)
 	}
-	gram := design.TransposeMul()
+	// Normal equations over the implicit [1 | x] design matrix: the
+	// intercept column is never materialized, so no design copy is
+	// allocated. Like TransposeMulN, output columns are banded across
+	// workers and every element accumulates over rows in ascending
+	// order, so the fit is bit-identical at any concurrency.
+	n1 := d + 1
+	gram := NewMatrix(n1, n1)
+	rhs := make([]float64, n1)
+	parallel.ForRange(lr.Workers, n1, bandWidth(n1, lr.Workers), func(a0, a1 int) {
+		for _, row := range x {
+			for a := a0; a < a1; a++ {
+				dst := gram.Data[a*n1:]
+				if a == 0 {
+					dst[0]++
+					for b := 1; b < n1; b++ {
+						dst[b] += row[b-1]
+					}
+					continue
+				}
+				va := row[a-1]
+				if va == 0 {
+					continue
+				}
+				for b := a; b < n1; b++ {
+					dst[b] += va * row[b-1]
+				}
+			}
+		}
+	})
+	// Mirror the strict upper triangle.
+	for a := 0; a < n1; a++ {
+		for b := a + 1; b < n1; b++ {
+			gram.Data[b*n1+a] = gram.Data[a*n1+b]
+		}
+	}
+	for i, yi := range y {
+		if yi == 0 {
+			continue
+		}
+		rhs[0] += yi
+		row := x[i]
+		for j, v := range row {
+			rhs[j+1] += yi * v
+		}
+	}
 	lambda := lr.Ridge
 	if lambda <= 0 {
 		lambda = 1e-8
@@ -44,11 +88,7 @@ func (lr *LinearRegression) Fit(x [][]float64, y []float64) error {
 	for j := 0; j <= d; j++ {
 		gram.Set(j, j, gram.At(j, j)+lambda)
 	}
-	rhs, err := design.TransposeMulVec(y)
-	if err != nil {
-		return err
-	}
-	w, err := SolveSPD(gram, rhs)
+	w, err := SolveSPDN(gram, rhs, lr.Workers)
 	if err != nil {
 		return err
 	}

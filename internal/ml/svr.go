@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"nvdclean/internal/parallel"
 )
 
 // SVR is the paper's support-vector regression model (Table 5: RBF
@@ -23,6 +25,10 @@ type SVR struct {
 	// the cap, a deterministic evenly-spaced subsample is used. Zero
 	// means the default of 2000.
 	MaxSamples int
+	// Workers bounds the parallelism of Fit and PredictBatch. Zero
+	// means GOMAXPROCS; the fitted model is bit-identical at any
+	// setting.
+	Workers int
 
 	centers [][]float64
 	alphas  []float64
@@ -65,15 +71,18 @@ func (s *SVR) Fit(x [][]float64, y []float64) error {
 
 	n := len(cx)
 	gram := NewMatrix(n, n)
-	for i := 0; i < n; i++ {
+	// Parallel kernel-matrix construction: row i fills (i, j) and its
+	// mirror (j, i) for j > i, so every element is written exactly once
+	// and the matrix is identical at any concurrency.
+	parallel.For(s.Workers, n, func(i int) {
 		gram.Set(i, i, 1+1/(2*c)) // k(x,x)=1 plus ridge term
 		for j := i + 1; j < n; j++ {
 			k := rbf(cx[i], cx[j], gamma)
 			gram.Set(i, j, k)
 			gram.Set(j, i, k)
 		}
-	}
-	alphas, err := SolveSPD(gram, cy)
+	})
+	alphas, err := SolveSPDN(gram, cy, s.Workers)
 	if err != nil {
 		return err
 	}
@@ -100,6 +109,23 @@ func (s *SVR) Predict(row []float64) (float64, error) {
 		out += s.alphas[i] * rbf(row, c, s.Gamma)
 	}
 	return out, nil
+}
+
+// PredictBatch returns fitted values for many rows, fanned out across
+// the configured workers. Row i of the result corresponds to rows[i].
+func (s *SVR) PredictBatch(rows [][]float64) ([]float64, error) {
+	if s.alphas == nil {
+		return nil, errors.New("ml: model is not fitted")
+	}
+	out := make([]float64, len(rows))
+	return out, parallel.ForErr(s.Workers, len(rows), func(i int) error {
+		v, err := s.Predict(rows[i])
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
 }
 
 // NumCenters returns the number of retained kernel centers.

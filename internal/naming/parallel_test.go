@@ -1,0 +1,51 @@
+package naming
+
+import (
+	"reflect"
+	"testing"
+
+	"nvdclean/internal/gen"
+)
+
+// TestAnalyzeWorkerInvariant checks the §4.2 surveys produce identical
+// pair lists (order included) at every concurrency level.
+func TestAnalyzeWorkerInvariant(t *testing.T) {
+	cfg := gen.TinyConfig()
+	snap, _, _, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseV := AnalyzeVendorsN(snap, 1)
+	baseP := AnalyzeProductsN(snap, 1)
+	if len(baseV.Pairs) == 0 || len(baseP.Pairs) == 0 {
+		t.Fatalf("degenerate fixture: %d vendor pairs, %d product pairs",
+			len(baseV.Pairs), len(baseP.Pairs))
+	}
+	for _, w := range []int{2, 4, 8} {
+		gotV := AnalyzeVendorsN(snap, w)
+		if !reflect.DeepEqual(gotV.Pairs, baseV.Pairs) {
+			t.Errorf("workers=%d: vendor pairs differ from serial", w)
+		}
+		gotP := AnalyzeProductsN(snap, w)
+		if !reflect.DeepEqual(gotP.Pairs, baseP.Pairs) {
+			t.Errorf("workers=%d: product pairs differ from serial", w)
+		}
+	}
+}
+
+// TestConsolidateWorkerInvariant checks the maps built from parallel
+// analyses are identical too.
+func TestConsolidateWorkerInvariant(t *testing.T) {
+	cfg := gen.TinyConfig()
+	snap, _, _, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := AnalyzeVendorsN(snap, 1).Consolidate(HeuristicJudge{})
+	for _, w := range []int{4} {
+		got := AnalyzeVendorsN(snap, w).Consolidate(HeuristicJudge{})
+		if !reflect.DeepEqual(got.Entries(), base.Entries()) {
+			t.Errorf("workers=%d: consolidation map differs from serial", w)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"unicode"
 
 	"nvdclean/internal/cve"
+	"nvdclean/internal/parallel"
 	"nvdclean/internal/textnorm"
 )
 
@@ -48,8 +49,19 @@ type ProductAnalysis struct {
 // AnalyzeProducts surveys product names per vendor using the §4.2
 // heuristics: identical tokenization (internet-explorer vs
 // internet_explorer), first-character abbreviation (ie), and edit
-// distance 1 (human-error typos).
+// distance 1 (human-error typos). Vendors are analyzed with GOMAXPROCS
+// workers.
 func AnalyzeProducts(snap *cve.Snapshot) *ProductAnalysis {
+	return AnalyzeProductsN(snap, 0)
+}
+
+// AnalyzeProductsN is AnalyzeProducts with an explicit worker bound
+// (zero means GOMAXPROCS). Vendors are mutually independent — every
+// heuristic blocks within one vendor's catalog — so each worker
+// surveys whole vendors, writing its sorted pair block into the
+// vendor's slot; concatenating the blocks in sorted-vendor order
+// yields the same (Vendor, A, B)-sorted pair list at any concurrency.
+func AnalyzeProductsN(snap *cve.Snapshot, workers int) *ProductAnalysis {
 	pa := &ProductAnalysis{CVECount: make(map[[2]string]int)}
 	perVendor := make(map[string]map[string]struct{})
 	for _, e := range snap.Entries {
@@ -75,7 +87,9 @@ func AnalyzeProducts(snap *cve.Snapshot) *ProductAnalysis {
 	}
 	sort.Strings(vendors)
 
-	for _, vendor := range vendors {
+	perVendorPairs := make([][]ProductPair, len(vendors))
+	parallel.For(workers, len(vendors), func(vi int) {
+		vendor := vendors[vi]
 		set := perVendor[vendor]
 		products := make([]string, 0, len(set))
 		for p := range set {
@@ -171,6 +185,7 @@ func AnalyzeProducts(snap *cve.Snapshot) *ProductAnalysis {
 			}
 		}
 
+		pairs := make([]ProductPair, 0, len(cand))
 		for k, patterns := range cand {
 			pp := ProductPair{Vendor: vendor, A: k[0], B: k[1]}
 			for p := range patterns {
@@ -185,19 +200,26 @@ func AnalyzeProducts(snap *cve.Snapshot) *ProductAnalysis {
 				}
 				pp.AbbrevExpansions = abbrevCount[ab]
 			}
-			pa.Pairs = append(pa.Pairs, pp)
+			pairs = append(pairs, pp)
 		}
-	}
-	sort.Slice(pa.Pairs, func(i, j int) bool {
-		a, b := pa.Pairs[i], pa.Pairs[j]
-		if a.Vendor != b.Vendor {
-			return a.Vendor < b.Vendor
-		}
-		if a.A != b.A {
-			return a.A < b.A
-		}
-		return a.B < b.B
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].A != pairs[j].A {
+				return pairs[i].A < pairs[j].A
+			}
+			return pairs[i].B < pairs[j].B
+		})
+		perVendorPairs[vi] = pairs
 	})
+	// Vendor blocks concatenate in sorted-vendor order, so the full
+	// list arrives sorted by (Vendor, A, B) without a global sort.
+	total := 0
+	for _, pairs := range perVendorPairs {
+		total += len(pairs)
+	}
+	pa.Pairs = make([]ProductPair, 0, total)
+	for _, pairs := range perVendorPairs {
+		pa.Pairs = append(pa.Pairs, pairs...)
+	}
 	return pa
 }
 

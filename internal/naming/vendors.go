@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"nvdclean/internal/cve"
+	"nvdclean/internal/parallel"
 	"nvdclean/internal/textnorm"
 )
 
@@ -76,10 +77,19 @@ type VendorAnalysis struct {
 }
 
 // AnalyzeVendors surveys a snapshot and generates candidate pairs with
-// the §4.2 vendor heuristics. Pure blocking strategies keep it far from
-// O(V²): names are bucketed by stripped form, deletion signature,
-// abbreviation, product, and sorted-prefix scan.
+// the §4.2 vendor heuristics, scoring pairs with GOMAXPROCS workers.
 func AnalyzeVendors(snap *cve.Snapshot) *VendorAnalysis {
+	return AnalyzeVendorsN(snap, 0)
+}
+
+// AnalyzeVendorsN is AnalyzeVendors with an explicit worker bound
+// (zero means GOMAXPROCS). Candidate generation uses pure blocking
+// strategies to stay far from O(V²) — names are bucketed by stripped
+// form, deletion signature, abbreviation, product, and a sorted-prefix
+// scan — and the surviving candidates are scored (LCS, shared-product
+// counts) in parallel, each pair writing only its own slot of the
+// sorted pair list, so the analysis is identical at any concurrency.
+func AnalyzeVendorsN(snap *cve.Snapshot, workers int) *VendorAnalysis {
 	va := &VendorAnalysis{
 		CVECount: snap.VendorCVECount(),
 		Products: snap.VendorProducts(),
@@ -205,27 +215,35 @@ func AnalyzeVendors(snap *cve.Snapshot) *VendorAnalysis {
 		}
 	}
 
-	// Materialize pairs with their signals.
-	va.Pairs = make([]VendorPair, 0, len(cand))
-	for k, patterns := range cand {
+	// Materialize pairs with their signals. Scoring — the LCS dynamic
+	// program dominates — fans out across workers: keys are sorted
+	// first so slot i is pair i of the final (A, B)-ordered list, and
+	// every worker writes only its own slots.
+	keys := make([]pairKey, 0, len(cand))
+	for k := range cand {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	va.Pairs = make([]VendorPair, len(keys))
+	parallel.For(workers, len(keys), func(i int) {
+		k := keys[i]
 		vp := VendorPair{A: k[0], B: k[1]}
-		for p := range patterns {
+		for p := range cand[k] {
 			vp.Patterns = append(vp.Patterns, p)
 		}
-		sort.Slice(vp.Patterns, func(i, j int) bool { return vp.Patterns[i] < vp.Patterns[j] })
+		sort.Slice(vp.Patterns, func(a, b int) bool { return vp.Patterns[a] < vp.Patterns[b] })
 		vp.LCS = textnorm.LongestCommonSubstring(k[0], k[1])
 		vp.MatchingProducts = countShared(va.Products[k[0]], va.Products[k[1]])
 		vp.SmallerCatalog = len(va.Products[k[0]])
 		if n := len(va.Products[k[1]]); n < vp.SmallerCatalog {
 			vp.SmallerCatalog = n
 		}
-		va.Pairs = append(va.Pairs, vp)
-	}
-	sort.Slice(va.Pairs, func(i, j int) bool {
-		if va.Pairs[i].A != va.Pairs[j].A {
-			return va.Pairs[i].A < va.Pairs[j].A
-		}
-		return va.Pairs[i].B < va.Pairs[j].B
+		va.Pairs[i] = vp
 	})
 	return va
 }

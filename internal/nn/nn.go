@@ -12,7 +12,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"nvdclean/internal/parallel"
 )
+
+// gradChunk is the fixed number of samples per gradient-accumulation
+// chunk inside a mini-batch. The batch gradient is defined as the
+// chunk partial sums folded in chunk order, and the chunk layout
+// depends only on this constant and the batch size — never on the
+// worker count — so training is bit-identical at any concurrency.
+const gradChunk = 8
 
 // Param is a learnable tensor: a flat value slice and its gradient
 // accumulator.
@@ -33,6 +42,24 @@ type Layer interface {
 	Backward(grad []float64) []float64
 	Params() []*Param
 	OutSize(inSize int) (int, error)
+}
+
+// replicable layers can produce worker replicas of themselves: copies
+// that share the weight values (read-only during a batch) but own
+// their activation scratch, and — when ownGrad — their gradient
+// buffers. All built-in layers implement it; a network containing a
+// foreign layer falls back to serial training.
+type replicable interface {
+	replicate(ownGrad bool) Layer
+}
+
+// replicateParam shares the weight slice and, when ownGrad, allocates a
+// private gradient accumulator.
+func replicateParam(p *Param, ownGrad bool) *Param {
+	if !ownGrad {
+		return p
+	}
+	return &Param{W: p.W, G: make([]float64, len(p.G))}
 }
 
 // Dense is a fully connected layer: out = W·x + b.
@@ -92,6 +119,15 @@ func (d *Dense) Backward(grad []float64) []float64 {
 // Params returns the weight and bias tensors.
 func (d *Dense) Params() []*Param { return []*Param{d.weight, d.bias} }
 
+// replicate implements replicable.
+func (d *Dense) replicate(ownGrad bool) Layer {
+	return &Dense{
+		In: d.In, Out: d.Out,
+		weight: replicateParam(d.weight, ownGrad),
+		bias:   replicateParam(d.bias, ownGrad),
+	}
+}
+
 // OutSize validates the input size and returns Out.
 func (d *Dense) OutSize(inSize int) (int, error) {
 	if inSize != d.In {
@@ -131,6 +167,9 @@ func (r *ReLU) Backward(grad []float64) []float64 {
 // Params returns nil: ReLU has no parameters.
 func (r *ReLU) Params() []*Param { return nil }
 
+// replicate implements replicable.
+func (r *ReLU) replicate(bool) Layer { return &ReLU{} }
+
 // OutSize is the identity.
 func (r *ReLU) OutSize(inSize int) (int, error) { return inSize, nil }
 
@@ -161,6 +200,9 @@ func (s *Sigmoid) Backward(grad []float64) []float64 {
 
 // Params returns nil: Sigmoid has no parameters.
 func (s *Sigmoid) Params() []*Param { return nil }
+
+// replicate implements replicable.
+func (s *Sigmoid) replicate(bool) Layer { return &Sigmoid{} }
 
 // OutSize is the identity.
 func (s *Sigmoid) OutSize(inSize int) (int, error) { return inSize, nil }
@@ -255,6 +297,16 @@ func (c *Conv1D) Backward(grad []float64) []float64 {
 // Params returns the kernel and bias tensors.
 func (c *Conv1D) Params() []*Param { return []*Param{c.weight, c.bias} }
 
+// replicate implements replicable.
+func (c *Conv1D) replicate(ownGrad bool) Layer {
+	return &Conv1D{
+		InChannels: c.InChannels, OutChannels: c.OutChannels,
+		Kernel: c.Kernel, Length: c.Length,
+		weight: replicateParam(c.weight, ownGrad),
+		bias:   replicateParam(c.bias, ownGrad),
+	}
+}
+
 // OutSize validates the input layout and returns OutChannels*Length.
 func (c *Conv1D) OutSize(inSize int) (int, error) {
 	if inSize != c.InChannels*c.Length {
@@ -313,6 +365,59 @@ func (n *Network) params() []*Param {
 	return ps
 }
 
+// canReplicate reports whether every layer supports worker replicas,
+// without building any.
+func (n *Network) canReplicate() bool {
+	for _, l := range n.layers {
+		if _, ok := l.(replicable); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// replica builds a copy of the network whose layers share this
+// network's weights but own their activation scratch and, when
+// ownGrad, their gradient buffers. Returns false if any layer is not
+// replicable.
+func (n *Network) replica(ownGrad bool) (*Network, bool) {
+	ls := make([]Layer, len(n.layers))
+	for i, l := range n.layers {
+		r, ok := l.(replicable)
+		if !ok {
+			return nil, false
+		}
+		ls[i] = r.replicate(ownGrad)
+	}
+	return &Network{layers: ls}, true
+}
+
+// InferenceReplica returns a read-only-weights copy of the network
+// safe for Forward/Predict on another goroutine while other replicas
+// (or the original) predict concurrently. Returns false when the
+// network contains a layer the library cannot replicate; the caller
+// must then serialize access instead.
+func (n *Network) InferenceReplica() (*Network, bool) { return n.replica(false) }
+
+// PredictBatch runs Predict over rows with up to workers goroutines
+// (0 means GOMAXPROCS), using one inference replica per worker. Output
+// slot i belongs to rows[i], so results are identical at any
+// concurrency. Falls back to a serial loop when the network is not
+// replicable.
+func (n *Network) PredictBatch(rows [][]float64, workers int) []float64 {
+	out := make([]float64, len(rows))
+	if !n.canReplicate() {
+		for i, r := range rows {
+			out[i] = n.Predict(r)
+		}
+		return out
+	}
+	parallel.ForWith(workers, len(rows),
+		func() *Network { r, _ := n.replica(false); return r },
+		func(rep *Network, i int) { out[i] = rep.Predict(rows[i]) })
+	return out
+}
+
 // TrainConfig controls SGD with Adam.
 type TrainConfig struct {
 	// Epochs is the number of passes over the data (paper: 100).
@@ -323,6 +428,11 @@ type TrainConfig struct {
 	LearningRate float64
 	// Seed drives batch shuffling.
 	Seed int64
+	// Workers bounds the per-sample parallelism inside each mini-batch.
+	// Zero means GOMAXPROCS. Gradients accumulate per fixed-size sample
+	// chunk and fold in chunk order, so the trained weights are
+	// bit-identical at any Workers setting.
+	Workers int
 	// OnEpoch, when set, receives the epoch index and mean training
 	// loss, useful for logging and early-stop tests.
 	OnEpoch func(epoch int, loss float64)
@@ -330,6 +440,12 @@ type TrainConfig struct {
 
 // Train fits the network on rows x with scalar targets y using the mean
 // squared error loss (1/N)Σ(y-f(x))², the paper's objective.
+//
+// Within each mini-batch the per-sample forward/backward passes fan
+// out across cfg.Workers goroutines: one gradient-owning replica per
+// sample chunk, folded into the live parameters in chunk order before
+// the Adam step. The chunk layout is a function of the batch size
+// alone, which makes training deterministic across concurrency levels.
 func (n *Network) Train(x [][]float64, y []float64, cfg TrainConfig) error {
 	if len(x) == 0 {
 		return errors.New("nn: no training rows")
@@ -353,6 +469,28 @@ func (n *Network) Train(x [][]float64, y []float64, cfg TrainConfig) error {
 	if n.adam == nil {
 		n.adam = newAdamState(params)
 	}
+	// One gradient-owning replica per sample chunk of a full batch.
+	// Replica ci always serves chunk ci, so its buffers are exclusive
+	// to one worker and the ordered fold below never depends on the
+	// schedule. A network with a non-replicable layer trains serially.
+	maxChunks := parallel.NumChunks(batch, gradChunk)
+	reps := make([]*Network, 0, maxChunks)
+	repParams := make([][]*Param, 0, maxChunks)
+	chunkLoss := make([]float64, maxChunks)
+	var batchG [][]float64 // fallback-path accumulator, chunk-folded
+	if n.canReplicate() {
+		for ci := 0; ci < maxChunks; ci++ {
+			r, _ := n.replica(true)
+			reps = append(reps, r)
+			repParams = append(repParams, r.params())
+		}
+	} else {
+		reps = nil
+		batchG = make([][]float64, len(params))
+		for pi, p := range params {
+			batchG[pi] = make([]float64, len(p.G))
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	idx := make([]int, len(x))
 	for i := range idx {
@@ -370,11 +508,69 @@ func (n *Network) Train(x [][]float64, y []float64, cfg TrainConfig) error {
 			for _, p := range params {
 				clear(p.G)
 			}
-			for _, i := range idx[start:end] {
-				out := n.Forward(x[i])
-				diff := out[0] - y[i]
-				epochLoss += diff * diff
-				n.backward([]float64{2 * diff / bs})
+			if reps == nil {
+				// Serial fallback for non-replicable layers: one chunk
+				// at a time through the live network, folding each
+				// chunk's gradients into the batch accumulator in
+				// chunk order — the same grouping as the replica path,
+				// so both paths train to identical weights.
+				for pi := range batchG {
+					clear(batchG[pi])
+				}
+				for cs := 0; cs < end-start; cs += gradChunk {
+					ce := cs + gradChunk
+					if ce > end-start {
+						ce = end - start
+					}
+					for _, p := range params {
+						clear(p.G)
+					}
+					var closs float64
+					for _, i := range idx[start+cs : start+ce] {
+						out := n.Forward(x[i])
+						diff := out[0] - y[i]
+						closs += diff * diff
+						n.backward([]float64{2 * diff / bs})
+					}
+					epochLoss += closs
+					for pi, p := range params {
+						for j, g := range p.G {
+							batchG[pi][j] += g
+						}
+					}
+				}
+				for pi, p := range params {
+					copy(p.G, batchG[pi])
+				}
+				n.adam.step(params, lr)
+				continue
+			}
+			span := end - start
+			nchunks := parallel.NumChunks(span, gradChunk)
+			parallel.ForRange(cfg.Workers, span, gradChunk, func(cs, ce int) {
+				ci := cs / gradChunk
+				rep := reps[ci]
+				for _, p := range repParams[ci] {
+					clear(p.G)
+				}
+				var loss float64
+				for _, i := range idx[start+cs : start+ce] {
+					out := rep.Forward(x[i])
+					diff := out[0] - y[i]
+					loss += diff * diff
+					rep.backward([]float64{2 * diff / bs})
+				}
+				chunkLoss[ci] = loss
+			})
+			// Ordered fold: chunk partials land in ascending chunk
+			// order, fixing the floating-point summation order.
+			for ci := 0; ci < nchunks; ci++ {
+				for pi, p := range params {
+					for j, g := range repParams[ci][pi].G {
+						p.G[j] += g
+					}
+				}
+				epochLoss += chunkLoss[ci]
 			}
 			n.adam.step(params, lr)
 		}

@@ -9,6 +9,7 @@ import (
 	"nvdclean/internal/cwe"
 	"nvdclean/internal/embed"
 	"nvdclean/internal/ml"
+	"nvdclean/internal/parallel"
 )
 
 // CWECorrection is the §4.4 regex-based fix: extract CWE IDs embedded
@@ -112,6 +113,10 @@ type TypeClassifierConfig struct {
 	// (100K+ descriptions) are impractical without a cap. Zero means no
 	// cap.
 	MaxDocs int
+	// Workers bounds embedding and evaluation parallelism. Zero means
+	// GOMAXPROCS; the classifier and its accuracy are identical at any
+	// setting.
+	Workers int
 }
 
 // TrainTypeClassifier fits the classifier on every typed CVE of the
@@ -162,27 +167,37 @@ func TrainTypeClassifier(snap *cve.Snapshot, cfg TypeClassifierConfig) (*TypeCla
 		return len(classes) - 1
 	}
 
+	// Embedding is per-document independent; fan it out. Labels stay
+	// serial so the dense label space is assigned in document order.
 	cut := len(docs) * 8 / 10
 	trainX := make([][]float64, cut)
 	trainY := make([]int, cut)
-	for i := 0; i < cut; i++ {
+	parallel.For(cfg.Workers, cut, func(i int) {
 		trainX[i] = enc.Encode(docs[i].text)
+	})
+	for i := 0; i < cut; i++ {
 		trainY[i] = labelOf(docs[i].label)
 	}
-	knn := &ml.KNN{K: cfg.K}
+	knn := &ml.KNN{K: cfg.K, Workers: cfg.Workers}
 	if err := knn.Fit(trainX, trainY); err != nil {
 		return nil, 0, err
 	}
 	tc := &TypeClassifier{enc: enc, knn: knn, classes: classes}
 
+	// Held-out evaluation: embed and classify the test split as one
+	// parallel batch.
+	testRows := make([][]float64, len(docs)-cut)
+	parallel.For(cfg.Workers, len(testRows), func(i int) {
+		testRows[i] = enc.Encode(docs[cut+i].text)
+	})
+	preds, err := knn.PredictBatch(testRows)
+	if err != nil {
+		return nil, 0, err
+	}
 	var correct, total int
-	for i := cut; i < len(docs); i++ {
-		pred, err := tc.Predict(docs[i].text)
-		if err != nil {
-			return nil, 0, err
-		}
+	for i, p := range preds {
 		total++
-		if pred == docs[i].label {
+		if p >= 0 && p < len(classes) && classes[p] == docs[cut+i].label {
 			correct++
 		}
 	}

@@ -39,7 +39,8 @@ func (e *Engine) FeatureImportance(ds *Dataset, seed int64) ([]Importance, error
 	if len(ds.Test) == 0 {
 		return nil, errors.New("predict: empty test split")
 	}
-	baseline, err := bandAccuracy(model, ds.Test, -1, nil)
+	workers := e.cfg.Workers
+	baseline, err := bandAccuracy(model, ds.Test, -1, nil, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +52,7 @@ func (e *Engine) FeatureImportance(ds *Dataset, seed int64) ([]Importance, error
 			perm[i] = i
 		}
 		rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
-		acc, err := bandAccuracy(model, ds.Test, j, perm)
+		acc, err := bandAccuracy(model, ds.Test, j, perm, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -62,20 +63,27 @@ func (e *Engine) FeatureImportance(ds *Dataset, seed int64) ([]Importance, error
 }
 
 // bandAccuracy scores severity-band accuracy, optionally with feature
-// column `shuffle` replaced by a permutation of itself.
-func bandAccuracy(model Regressor, test []Sample, shuffle int, perm []int) (float64, error) {
-	var hits int
-	row := make([]float64, NumFeatures)
+// column `shuffle` replaced by a permutation of itself. The shuffled
+// rows are materialized up front so the model can score them as one
+// parallel batch.
+func bandAccuracy(model Regressor, test []Sample, shuffle int, perm []int, workers int) (float64, error) {
+	rows := make([][]float64, len(test))
 	for i, s := range test {
-		copy(row, s.Features)
-		if shuffle >= 0 {
-			row[shuffle] = test[perm[i]].Features[shuffle]
+		if shuffle < 0 {
+			rows[i] = s.Features
+			continue
 		}
-		pred, err := model.Predict(row)
-		if err != nil {
-			return 0, err
-		}
-		if cvss.SeverityV3(pred) == cvss.SeverityV3(s.TargetScore) {
+		row := append([]float64(nil), s.Features...)
+		row[shuffle] = test[perm[i]].Features[shuffle]
+		rows[i] = row
+	}
+	preds, err := predictAll(model, rows, workers)
+	if err != nil {
+		return 0, err
+	}
+	var hits int
+	for i, s := range test {
+		if cvss.SeverityV3(preds[i]) == cvss.SeverityV3(s.TargetScore) {
 			hits++
 		}
 	}

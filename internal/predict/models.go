@@ -3,9 +3,11 @@ package predict
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"nvdclean/internal/ml"
 	"nvdclean/internal/nn"
+	"nvdclean/internal/parallel"
 )
 
 // ModelKind identifies one of the paper's four §4.3 algorithms.
@@ -60,6 +62,9 @@ type ModelConfig struct {
 	SVRMaxSamples int
 	// Seed drives weight init and batch shuffling.
 	Seed int64
+	// Workers bounds training and evaluation parallelism. Zero means
+	// GOMAXPROCS; trained models are bit-identical at any setting.
+	Workers int
 }
 
 // trainModel fits one model kind on features x and 0–10 targets y.
@@ -69,14 +74,14 @@ func trainModel(kind ModelKind, x [][]float64, y []float64, cfg ModelConfig) (Re
 	}
 	switch kind {
 	case ModelLR:
-		lr := &ml.LinearRegression{}
+		lr := &ml.LinearRegression{Workers: cfg.Workers}
 		if err := lr.Fit(x, y); err != nil {
 			return nil, err
 		}
 		return lrAdapter{lr}, nil
 	case ModelSVR:
 		// Paper settings: RBF kernel, γ=0.1, C=2.
-		s := &ml.SVR{Gamma: 0.1, C: 2, MaxSamples: cfg.SVRMaxSamples}
+		s := &ml.SVR{Gamma: 0.1, C: 2, MaxSamples: cfg.SVRMaxSamples, Workers: cfg.Workers}
 		if err := s.Fit(x, y); err != nil {
 			return nil, err
 		}
@@ -121,11 +126,37 @@ func trainDeep(kind ModelKind, x [][]float64, y []float64, cfg ModelConfig) (Reg
 		BatchSize:    32,
 		LearningRate: 0.001, // paper's Adam setting
 		Seed:         cfg.Seed,
+		Workers:      cfg.Workers,
 	}
 	if err := net.Train(x, scaled, tc); err != nil {
 		return nil, err
 	}
-	return netAdapter{net}, nil
+	return netAdapter{net: net, mu: &sync.Mutex{}}, nil
+}
+
+// batchRegressor is the fast path for scoring many rows: models
+// implementing it predict rows concurrently with bounded workers. Slot
+// i of the result always belongs to rows[i].
+type batchRegressor interface {
+	predictBatch(rows [][]float64, workers int) ([]float64, error)
+}
+
+// predictAll scores every row with the model, fanning out across
+// workers when the model supports it. Results are identical to calling
+// Predict row by row.
+func predictAll(m Regressor, rows [][]float64, workers int) ([]float64, error) {
+	if br, ok := m.(batchRegressor); ok {
+		return br.predictBatch(rows, workers)
+	}
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		v, err := m.Predict(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 type lrAdapter struct{ m *ml.LinearRegression }
@@ -135,6 +166,18 @@ func (a lrAdapter) Predict(f []float64) (float64, error) {
 	return clampScore(v), err
 }
 
+func (a lrAdapter) predictBatch(rows [][]float64, workers int) ([]float64, error) {
+	out := make([]float64, len(rows))
+	return out, parallel.ForErr(workers, len(rows), func(i int) error {
+		v, err := a.Predict(rows[i])
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+}
+
 type svrAdapter struct{ m *ml.SVR }
 
 func (a svrAdapter) Predict(f []float64) (float64, error) {
@@ -142,10 +185,40 @@ func (a svrAdapter) Predict(f []float64) (float64, error) {
 	return clampScore(v), err
 }
 
-type netAdapter struct{ net *nn.Network }
+func (a svrAdapter) predictBatch(rows [][]float64, workers int) ([]float64, error) {
+	s := *a.m
+	s.Workers = workers
+	out, err := s.PredictBatch(rows)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range out {
+		out[i] = clampScore(v)
+	}
+	return out, nil
+}
+
+// netAdapter wraps a neural model. Single-row Predict serializes on a
+// mutex because network layers keep per-call activation scratch;
+// predictBatch sidesteps the lock with per-worker inference replicas.
+type netAdapter struct {
+	net *nn.Network
+	mu  *sync.Mutex
+}
 
 func (a netAdapter) Predict(f []float64) (float64, error) {
-	return clampScore(a.net.Predict(f) * 10), nil
+	a.mu.Lock()
+	v := a.net.Predict(f)
+	a.mu.Unlock()
+	return clampScore(v * 10), nil
+}
+
+func (a netAdapter) predictBatch(rows [][]float64, workers int) ([]float64, error) {
+	out := a.net.PredictBatch(rows, workers)
+	for i, v := range out {
+		out[i] = clampScore(v * 10)
+	}
+	return out, nil
 }
 
 func clampScore(v float64) float64 {

@@ -9,6 +9,7 @@ import (
 	"nvdclean/internal/cve"
 	"nvdclean/internal/cvss"
 	"nvdclean/internal/cwe"
+	"nvdclean/internal/parallel"
 	"nvdclean/internal/stats"
 )
 
@@ -138,7 +139,11 @@ type Engine struct {
 
 // Train fits every model in the zoo on ds and evaluates each on the
 // held-out test set, selecting the most accurate model (the paper
-// selects the CNN at 86.29%).
+// selects the CNN at 86.29%). Model kinds train concurrently — they
+// are independent given the shared read-only dataset — and each kind's
+// own training parallelism is bounded by cfg.Workers; selection walks
+// kinds in Table 5 order, so the engine is identical at any
+// concurrency.
 func Train(ds *Dataset, kinds []ModelKind, cfg ModelConfig) (*Engine, error) {
 	if len(ds.Train) == 0 || len(ds.Test) == 0 {
 		return nil, errors.New("predict: empty dataset split")
@@ -161,37 +166,69 @@ func Train(ds *Dataset, kinds []ModelKind, cfg ModelConfig) (*Engine, error) {
 	if eng.enc == nil {
 		eng.enc = NeutralCWEEncoder()
 	}
+	// Split the worker budget between the two levels of parallelism so
+	// the total stays within cfg.Workers: kinds fan out first, and each
+	// kind's kernels get the remaining share (all of it when a single
+	// kind trains).
+	total := parallel.Workers(cfg.Workers)
+	kindWorkers := len(kinds)
+	if kindWorkers > total {
+		kindWorkers = total
+	}
+	inner := cfg
+	inner.Workers = total / kindWorkers
+	if inner.Workers < 1 {
+		inner.Workers = 1
+	}
+	models := make([]Regressor, len(kinds))
+	evals := make([]*Evaluation, len(kinds))
+	err := parallel.ForErr(kindWorkers, len(kinds), func(i int) error {
+		kind := kinds[i]
+		model, err := trainModel(kind, x, y, inner)
+		if err != nil {
+			return fmt.Errorf("predict: training %s: %w", kind, err)
+		}
+		ev, err := evaluate(kind, model, ds.Test, inner.Workers)
+		if err != nil {
+			return fmt.Errorf("predict: evaluating %s: %w", kind, err)
+		}
+		models[i], evals[i] = model, ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	bestAcc := -1.0
-	for _, kind := range kinds {
-		model, err := trainModel(kind, x, y, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("predict: training %s: %w", kind, err)
-		}
-		ev, err := evaluate(kind, model, ds.Test)
-		if err != nil {
-			return nil, fmt.Errorf("predict: evaluating %s: %w", kind, err)
-		}
-		eng.models[kind] = model
-		eng.evals[kind] = ev
-		if ev.Accuracy > bestAcc {
-			bestAcc = ev.Accuracy
+	for i, kind := range kinds {
+		eng.models[kind] = models[i]
+		eng.evals[kind] = evals[i]
+		if evals[i].Accuracy > bestAcc {
+			bestAcc = evals[i].Accuracy
 			eng.best = kind
 		}
 	}
 	return eng, nil
 }
 
-func evaluate(kind ModelKind, model Regressor, test []Sample) (*Evaluation, error) {
+func evaluate(kind ModelKind, model Regressor, test []Sample, workers int) (*Evaluation, error) {
 	ev := &Evaluation{Model: kind, ByV2Class: make(map[cvss.Severity]float64)}
 	classTotal := make(map[cvss.Severity]int)
 	classHit := make(map[cvss.Severity]int)
+	// Score the whole split in parallel, then fold the metrics in
+	// sample order — the integer and float accumulators see the same
+	// sequence a serial evaluation would.
+	rows := make([][]float64, len(test))
+	for i, s := range test {
+		rows[i] = s.Features
+	}
+	preds, err := predictAll(model, rows, workers)
+	if err != nil {
+		return nil, err
+	}
 	var sumErr, sumRate float64
 	var nRate, hits int
-	for _, s := range test {
-		pred, err := model.Predict(s.Features)
-		if err != nil {
-			return nil, err
-		}
+	for i, s := range test {
+		pred := preds[i]
 		diff := abs(pred - s.TargetScore)
 		sumErr += diff
 		if s.TargetScore > 0 {
@@ -273,18 +310,31 @@ func (b *Backport) Severity(id string) (cvss.Severity, bool) {
 	return cvss.SeverityV3(s), true
 }
 
-// BackportAll predicts v3 scores for every entry lacking one.
+// BackportAll predicts v3 scores for every entry lacking one — the
+// §4.3 bulk path (the paper's 74K v2-only CVEs) — scoring entries in
+// parallel with the engine's configured workers.
 func (e *Engine) BackportAll(snap *cve.Snapshot) (*Backport, error) {
-	b := &Backport{Scores: make(map[string]float64)}
+	var pending []*cve.Entry
 	for _, entry := range snap.Entries {
-		if entry.V2 == nil || entry.V3 != nil {
-			continue
+		if entry.V2 != nil && entry.V3 == nil {
+			pending = append(pending, entry)
 		}
-		s, err := e.Predict(*entry.V2, firstConcrete(entry.CWEs))
-		if err != nil {
-			return nil, fmt.Errorf("predict: backporting %s: %w", entry.ID, err)
-		}
-		b.Scores[entry.ID] = s
+	}
+	rows := make([][]float64, len(pending))
+	parallel.For(e.cfg.Workers, len(pending), func(i int) {
+		rows[i] = e.enc.Features(*pending[i].V2, firstConcrete(pending[i].CWEs))
+	})
+	model, ok := e.models[e.best]
+	if !ok {
+		return nil, errors.New("predict: engine has no trained model")
+	}
+	preds, err := predictAll(model, rows, e.cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("predict: backporting: %w", err)
+	}
+	b := &Backport{Scores: make(map[string]float64, len(pending))}
+	for i, entry := range pending {
+		b.Scores[entry.ID] = preds[i]
 	}
 	return b, nil
 }
@@ -359,16 +409,23 @@ func PredictedTransitions(snap *cve.Snapshot, b *Backport) [][2]cvss.Severity {
 }
 
 // TestTransitions computes Table 14 (ground truth on the test split)
-// and Table 15 (model predictions on the test split).
+// and Table 15 (model predictions on the test split), scoring the
+// split in parallel with the engine's configured workers.
 func (e *Engine) TestTransitions(ds *Dataset) (truth, predicted [][2]cvss.Severity, err error) {
 	m := e.models[e.best]
-	for _, s := range ds.Test {
-		truth = append(truth, [2]cvss.Severity{s.V2Sev, cvss.SeverityV3(s.TargetScore)})
-		pred, perr := m.Predict(s.Features)
-		if perr != nil {
-			return nil, nil, perr
-		}
-		predicted = append(predicted, [2]cvss.Severity{s.V2Sev, cvss.SeverityV3(pred)})
+	rows := make([][]float64, len(ds.Test))
+	for i, s := range ds.Test {
+		rows[i] = s.Features
+	}
+	preds, err := predictAll(m, rows, e.cfg.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	truth = make([][2]cvss.Severity, len(ds.Test))
+	predicted = make([][2]cvss.Severity, len(ds.Test))
+	for i, s := range ds.Test {
+		truth[i] = [2]cvss.Severity{s.V2Sev, cvss.SeverityV3(s.TargetScore)}
+		predicted[i] = [2]cvss.Severity{s.V2Sev, cvss.SeverityV3(preds[i])}
 	}
 	return truth, predicted, nil
 }

@@ -16,6 +16,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"nvdclean/internal/cve"
@@ -28,7 +30,19 @@ type Corpus struct {
 	pageDate map[string]time.Time
 	// domains indexes the domain registry by host.
 	domains map[string]gen.Domain
+	// rendered caches page bodies by URL: a page's HTML is a pure
+	// function of its URL and date, so it renders once no matter how
+	// many CVEs reference it or how many crawls hit the corpus. The
+	// cache is bounded (renderCacheMax pages) so a paper-scale corpus
+	// does not keep its entire HTML resident; beyond the cap, pages
+	// render on demand.
+	rendered     sync.Map // url -> string
+	renderedSize atomic.Int64
 }
+
+// renderCacheMax bounds the rendered-page cache. At ~1 KiB per page
+// this caps cache memory near 16 MiB; tiny/small corpora fit entirely.
+const renderCacheMax = 16384
 
 // New indexes every reference of the snapshot. Reference pages display
 // gen.RefPageDate: the first (primary advisory) reference carries the
@@ -88,8 +102,22 @@ func (t transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if !ok {
 		return response(req, http.StatusNotFound, "<html><body>Not Found</body></html>"), nil
 	}
-	body := RenderPage(d, cveIDFromPath(req.URL.Path), date)
-	return response(req, http.StatusOK, body), nil
+	return response(req, http.StatusOK, t.c.page(url, d, req.URL.Path, date)), nil
+}
+
+// page returns the rendered body for url, rendering at most once for
+// cached pages and on demand past the cache bound.
+func (c *Corpus) page(url string, d gen.Domain, path string, date time.Time) string {
+	if body, ok := c.rendered.Load(url); ok {
+		return body.(string)
+	}
+	body := RenderPage(d, cveIDFromPath(path), date)
+	if c.renderedSize.Load() < renderCacheMax {
+		if _, loaded := c.rendered.LoadOrStore(url, body); !loaded {
+			c.renderedSize.Add(1)
+		}
+	}
+	return body
 }
 
 func response(req *http.Request, status int, body string) *http.Response {
@@ -127,7 +155,7 @@ func (c *Corpus) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		io.WriteString(w, RenderPage(d, cveIDFromPath(r.URL.Path), date))
+		io.WriteString(w, c.page(url, d, r.URL.Path, date))
 	})
 }
 

@@ -32,6 +32,7 @@ import (
 	"nvdclean/internal/cwe"
 	"nvdclean/internal/gen"
 	"nvdclean/internal/naming"
+	"nvdclean/internal/parallel"
 	"nvdclean/internal/predict"
 	"nvdclean/internal/webcorpus"
 )
@@ -92,7 +93,12 @@ type Options struct {
 	// TopKDomains restricts crawling to the most popular reference
 	// domains (paper: 50). Zero means 50.
 	TopKDomains int
-	// Concurrency is the crawl parallelism. Zero means 8.
+	// Concurrency bounds the parallelism of every pipeline stage: the
+	// reference crawl, name consolidation, model training, and score
+	// backporting. Zero means GOMAXPROCS. Results are identical at any
+	// setting — the pipeline's parallel paths use order-stable
+	// reductions (see internal/parallel), so concurrency only changes
+	// wall-clock time.
 	Concurrency int
 	// Models selects which §4.3 algorithms to train; nil trains all
 	// four (LR, SVR, CNN, DNN).
@@ -142,10 +148,17 @@ type Result struct {
 
 // Clean runs the full pipeline on snap, returning the rectified
 // snapshot and all intermediate artifacts. snap itself is not modified.
+//
+// Independent stages overlap: the §4.1 reference crawl reads only the
+// original snapshot while the §4.2 naming consolidation and §4.4 CWE
+// correction rewrite the clone, so the two run concurrently and join
+// before the §4.3 severity step (which needs the corrected clone).
+// Every stage bounds its own parallelism by opts.Concurrency.
 func Clean(ctx context.Context, snap *Snapshot, opts Options) (*Result, error) {
 	if snap == nil || snap.Len() == 0 {
 		return nil, fmt.Errorf("nvdclean: empty snapshot")
 	}
+	workers := parallel.Workers(opts.Concurrency)
 	res := &Result{
 		Original:            snap,
 		Cleaned:             snap.Clone(),
@@ -155,62 +168,81 @@ func Clean(ctx context.Context, snap *Snapshot, opts Options) (*Result, error) {
 		ProductChanged:      make(map[string]bool),
 	}
 
-	// §4.1: disclosure dates via reference crawling.
+	var g parallel.Group
+
+	// §4.1: disclosure dates via reference crawling. Reads only the
+	// untouched original snapshot.
 	if opts.Transport != nil {
-		c, err := crawler.New(crawler.Config{
-			Transport:   opts.Transport,
-			TopK:        opts.TopKDomains,
-			Concurrency: opts.Concurrency,
+		g.Go(func() error {
+			c, err := crawler.New(crawler.Config{
+				Transport:   opts.Transport,
+				TopK:        opts.TopKDomains,
+				Concurrency: workers,
+			})
+			if err != nil {
+				return fmt.Errorf("nvdclean: building crawler: %w", err)
+			}
+			results, stats, err := c.EstimateAll(ctx, snap)
+			if err != nil {
+				return fmt.Errorf("nvdclean: crawling references: %w", err)
+			}
+			res.CrawlStats = stats
+			for _, r := range results {
+				res.EstimatedDisclosure[r.ID] = r.Estimated
+				res.LagDays[r.ID] = r.LagDays
+			}
+			return nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("nvdclean: building crawler: %w", err)
-		}
-		results, stats, err := c.EstimateAll(ctx, snap)
-		if err != nil {
-			return nil, fmt.Errorf("nvdclean: crawling references: %w", err)
-		}
-		res.CrawlStats = stats
-		for _, r := range results {
-			res.EstimatedDisclosure[r.ID] = r.Estimated
-			res.LagDays[r.ID] = r.LagDays
-		}
 	}
 
-	// §4.2: vendor and product name consolidation. Vendor first, then
-	// products under the consolidated vendors, as the paper does.
-	va := naming.AnalyzeVendors(res.Cleaned)
-	res.VendorMap = va.Consolidate(naming.HeuristicJudge{})
-	for _, e := range res.Cleaned.Entries {
-		for _, n := range e.CPEs {
-			if res.VendorMap.Mapped(n.Vendor) {
-				res.VendorChanged[e.ID] = true
+	// §4.2 + §4.4: name consolidation and CWE field correction, which
+	// rewrite only the cloned snapshot.
+	g.Go(func() error {
+		// Vendor first, then products under the consolidated vendors,
+		// as the paper does.
+		va := naming.AnalyzeVendorsN(res.Cleaned, workers)
+		res.VendorMap = va.Consolidate(naming.HeuristicJudge{})
+		for _, e := range res.Cleaned.Entries {
+			for _, n := range e.CPEs {
+				if res.VendorMap.Mapped(n.Vendor) {
+					res.VendorChanged[e.ID] = true
+				}
 			}
 		}
-	}
-	res.VendorMap.Apply(res.Cleaned)
+		res.VendorMap.Apply(res.Cleaned)
 
-	pa := naming.AnalyzeProducts(res.Cleaned)
-	res.ProductMap = pa.Consolidate(naming.HeuristicProductJudge{})
-	for _, e := range res.Cleaned.Entries {
-		for _, n := range e.CPEs {
-			if res.ProductMap.Canonical(n.Vendor, n.Product) != n.Product {
-				res.ProductChanged[e.ID] = true
+		pa := naming.AnalyzeProductsN(res.Cleaned, workers)
+		res.ProductMap = pa.Consolidate(naming.HeuristicProductJudge{})
+		for _, e := range res.Cleaned.Entries {
+			for _, n := range e.CPEs {
+				if res.ProductMap.Canonical(n.Vendor, n.Product) != n.Product {
+					res.ProductChanged[e.ID] = true
+				}
 			}
 		}
+		res.ProductMap.Apply(res.Cleaned)
+
+		// CWE correction runs before severity so corrected types feed
+		// the predictor's CWE feature.
+		res.CWECorrection = predict.CorrectCWEs(res.Cleaned, cwe.NewRegistry())
+		return nil
+	})
+
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
-	res.ProductMap.Apply(res.Cleaned)
 
-	// §4.4: CWE field correction (before severity so corrected types
-	// feed the predictor's CWE feature).
-	res.CWECorrection = predict.CorrectCWEs(res.Cleaned, cwe.NewRegistry())
-
-	// §4.3: CVSS v3 severity backporting.
+	// §4.3: CVSS v3 severity backporting (needs the corrected clone).
 	if !opts.SkipSeverity {
 		ds, err := predict.BuildDataset(res.Cleaned, opts.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("nvdclean: building severity dataset: %w", err)
 		}
-		res.Engine, err = predict.Train(ds, opts.Models, opts.ModelConfig)
+		mc := opts.ModelConfig
+		if mc.Workers == 0 {
+			mc.Workers = workers
+		}
+		res.Engine, err = predict.Train(ds, opts.Models, mc)
 		if err != nil {
 			return nil, fmt.Errorf("nvdclean: training severity models: %w", err)
 		}
