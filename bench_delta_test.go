@@ -1,0 +1,93 @@
+// Incremental-cleaning benchmarks: full Clean of a merged snapshot vs
+// CleanDelta of the 5% feed delta that produced it, per the
+// PERFORMANCE.md recipe (recorded in BENCH_2.json).
+package nvdclean_test
+
+import (
+	"context"
+	"testing"
+
+	"nvdclean"
+	"nvdclean/internal/predict"
+)
+
+// deltaBench holds the shared 95/5 fixture: a previous Clean result,
+// the held-out delta, and the merged snapshot a full re-clean sees.
+type deltaBench struct {
+	prev   *nvdclean.Result
+	delta  *nvdclean.Delta
+	merged *nvdclean.Snapshot
+	opts   nvdclean.Options
+}
+
+var deltaBenchFixture *deltaBench
+
+// benchDelta builds (once) a small-scale snapshot, holds out ~5% of
+// its v2-only entries as the delta — the shape of a real NVD daily
+// update, where new CVEs arrive without v3 scores — and pre-cleans the
+// remaining 95%.
+func benchDelta(b *testing.B) *deltaBench {
+	b.Helper()
+	if deltaBenchFixture != nil {
+		return deltaBenchFixture
+	}
+	full, truth, err := nvdclean.GenerateSnapshot(nvdclean.SmallScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := nvdclean.NewWebCorpus(full, truth.Disclosure)
+	opts := nvdclean.Options{
+		Transport:   corpus.Transport(),
+		Concurrency: 16,
+		Models:      []predict.ModelKind{predict.ModelLR},
+		ModelConfig: predict.ModelConfig{Seed: 1},
+		Seed:        1,
+	}
+	old := &nvdclean.Snapshot{CapturedAt: full.CapturedAt}
+	held := 0
+	want := full.Len() / 20 // 5%
+	for i, e := range full.Entries {
+		if held < want && i%20 == 10 && e.V3 == nil {
+			held++
+			continue
+		}
+		old.Entries = append(old.Entries, e)
+	}
+	delta := nvdclean.Diff(old, full)
+	if delta.Empty() {
+		b.Fatal("empty benchmark delta")
+	}
+	prev, err := nvdclean.Clean(context.Background(), old, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deltaBenchFixture = &deltaBench{prev: prev, delta: delta, merged: full, opts: opts}
+	return deltaBenchFixture
+}
+
+// BenchmarkCleanFullMerged times the status-quo response to a feed
+// update: re-clean the whole merged snapshot from scratch.
+func BenchmarkCleanFullMerged(b *testing.B) {
+	f := benchDelta(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nvdclean.Clean(context.Background(), f.merged, f.opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCleanDelta times the incremental response: reprocess only
+// the 5% delta on top of the previous result (bit-identical output,
+// enforced by TestCleanDeltaEquivalenceInvariant).
+func BenchmarkCleanDelta(b *testing.B) {
+	f := benchDelta(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nvdclean.CleanDelta(context.Background(), f.prev, f.delta, f.opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command nvdserve is a long-lived daemon serving a cleaned NVD
+// snapshot over HTTP. It loads a feed (or generates a synthetic demo
+// snapshot), runs the full cleaning pipeline once, and then serves:
+//
+//	GET  /healthz       liveness + current generation
+//	GET  /cve/{id}      one cleaned entry with every pipeline artifact
+//	GET  /query         filter by vendor/product/severity/year
+//	GET  /stats         snapshot-wide cleaning statistics
+//	POST /feed          ingest a feed update (NVD JSON 1.1 body)
+//
+// POST /feed is the incremental path: the posted entries diff against
+// the current snapshot and only the delta re-cleans (CleanDelta), with
+// the previous generation serving until the new one swaps in
+// atomically — reloads cause zero downtime and, when the update leaves
+// the training split untouched, reuse the trained model zoo.
+//
+// Usage:
+//
+//	nvdserve -demo small                 # synthetic snapshot + simulated web
+//	nvdserve -feed nvdcve-1.1-2017.json  # real data feed, no crawling
+//	nvdserve -feed feed.json -crawl     # also crawl reference URLs
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nvdclean"
+	"nvdclean/internal/predict"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8417", "listen address (use :0 for an ephemeral port)")
+		feedPath    = flag.String("feed", "", "NVD JSON 1.1 feed file to serve (empty: synthetic demo snapshot)")
+		demoScale   = flag.String("demo", "tiny", "demo snapshot scale: tiny, small or paper")
+		crawl       = flag.Bool("crawl", false, "crawl reference URLs of real feeds over the live web")
+		concurrency = flag.Int("concurrency", 0, "worker bound for every pipeline stage (0: GOMAXPROCS)")
+		models      = flag.String("models", "LR", "severity models to train: comma-separated LR,SVR,CNN,DNN or all")
+		epochs      = flag.Int("epochs", 0, "training epochs for the deep models (0: paper's 100)")
+		compact     = flag.Bool("compact", true, "use compact deep models (paper-width models are expensive)")
+		seed        = flag.Int64("seed", 1, "dataset split and weight-init seed")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *feedPath, *demoScale, *crawl, *concurrency, *models, *epochs, *compact, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "nvdserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, feedPath, demoScale string, crawl bool, concurrency int, models string, epochs int, compact bool, seed int64) error {
+	kinds, err := parseModels(models)
+	if err != nil {
+		return err
+	}
+	opts := nvdclean.Options{
+		Concurrency: concurrency,
+		Models:      kinds,
+		ModelConfig: predict.ModelConfig{Epochs: epochs, Compact: compact, Seed: seed},
+		Seed:        seed,
+	}
+
+	var snap *nvdclean.Snapshot
+	if feedPath != "" {
+		f, err := os.Open(feedPath)
+		if err != nil {
+			return err
+		}
+		snap, err = nvdclean.LoadFeed(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if crawl {
+			opts.Transport = http.DefaultTransport
+		}
+	} else {
+		var cfg nvdclean.GenConfig
+		switch demoScale {
+		case "tiny":
+			cfg = nvdclean.SmallScale()
+			cfg.NumCVEs = 400
+			cfg.NumVendors = 120
+		case "small":
+			cfg = nvdclean.SmallScale()
+		case "paper":
+			cfg = nvdclean.PaperScale()
+		default:
+			return fmt.Errorf("unknown demo scale %q (want tiny, small or paper)", demoScale)
+		}
+		var truth *nvdclean.Truth
+		snap, truth, err = nvdclean.GenerateSnapshot(cfg)
+		if err != nil {
+			return err
+		}
+		opts.Transport = nvdclean.NewWebCorpus(snap, truth.Disclosure).Transport()
+		fmt.Printf("nvdserve: generated %s demo snapshot (%d CVEs)\n", demoScale, snap.Len())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := newServer(opts)
+	fmt.Printf("nvdserve: cleaning %d entries...\n", snap.Len())
+	if err := srv.load(ctx, snap); err != nil {
+		return err
+	}
+	st := srv.cur.Load()
+	fmt.Printf("nvdserve: pipeline done in %dms\n", st.cleanDur.Milliseconds())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The exact address is printed after binding so -addr :0 callers
+	// (the smoke test, scripts) can discover the ephemeral port.
+	fmt.Printf("nvdserve: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		fmt.Println("nvdserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutdownCtx)
+	}
+}

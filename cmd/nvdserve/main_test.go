@@ -1,0 +1,302 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nvdclean"
+	"nvdclean/internal/gen"
+	"nvdclean/internal/predict"
+)
+
+// demoServer builds an in-process server over a tiny synthetic
+// snapshot with fast training settings.
+func demoServer(t *testing.T) (*server, *nvdclean.Snapshot) {
+	t.Helper()
+	snap, truth, err := nvdclean.GenerateSnapshot(gen.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := nvdclean.Options{
+		Transport:   nvdclean.NewWebCorpus(snap, truth.Disclosure).Transport(),
+		Concurrency: 8,
+		Models:      []predict.ModelKind{predict.ModelLR},
+		ModelConfig: predict.ModelConfig{Seed: 1},
+		Seed:        1,
+	}
+	srv := newServer(opts)
+	if err := srv.load(context.Background(), snap); err != nil {
+		t.Fatal(err)
+	}
+	return srv, snap
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return resp.StatusCode
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, snap := demoServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	var health map[string]any
+	if code := getJSON(t, ts, "/healthz", &health); code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+	if health["status"] != "ok" || int(health["entries"].(float64)) != snap.Len() {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	id := snap.Entries[0].ID
+	var view cveView
+	if code := getJSON(t, ts, "/cve/"+id, &view); code != http.StatusOK {
+		t.Fatalf("/cve/%s = %d", id, code)
+	}
+	if view.ID != id || len(view.Affected) == 0 {
+		t.Fatalf("cve view = %+v", view)
+	}
+	if view.EstimatedDisclosure == nil {
+		t.Error("crawled demo server should estimate disclosure dates")
+	}
+
+	var missing map[string]any
+	if code := getJSON(t, ts, "/cve/CVE-2098-9999", &missing); code != http.StatusNotFound {
+		t.Errorf("missing CVE = %d, want 404", code)
+	}
+
+	// Query by the consolidated vendor of the first entry's first CPE.
+	st := srv.cur.Load()
+	vendor := st.byID[id].CPEs[0].Vendor
+	var q struct {
+		Total   int `json:"total"`
+		Results []struct {
+			ID       string `json:"id"`
+			Severity string `json:"severity"`
+		} `json:"results"`
+	}
+	if code := getJSON(t, ts, "/query?vendor="+vendor, &q); code != http.StatusOK {
+		t.Fatalf("/query = %d", code)
+	}
+	if q.Total == 0 || len(q.Results) == 0 {
+		t.Fatalf("vendor query returned nothing: %+v", q)
+	}
+	if code := getJSON(t, ts, "/query?severity=High&limit=5", &q); code != http.StatusOK {
+		t.Fatalf("/query severity = %d", code)
+	}
+	if len(q.Results) > 5 {
+		t.Errorf("limit ignored: %d results", len(q.Results))
+	}
+	if code := getJSON(t, ts, "/query?severity=bogus", &q); code != http.StatusBadRequest {
+		t.Errorf("bogus severity = %d, want 400", code)
+	}
+
+	var stats map[string]any
+	if code := getJSON(t, ts, "/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats = %d", code)
+	}
+	if int(stats["entries"].(float64)) != snap.Len() || stats["engine"] == nil {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+// TestServerFeedUpdate posts an upsert feed (one new v2-only CVE + one
+// modified description) and verifies the swap: new generation, entry
+// served, engine warm-started, old generation untouched.
+func TestServerFeedUpdate(t *testing.T) {
+	srv, snap := demoServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	before := srv.cur.Load()
+
+	// A brand-new v2-only entry cloned from an existing one (so its
+	// reference URLs exist in the simulated web), plus a modified
+	// v2-only entry: neither touches the dual-labeled training split.
+	var v2only *nvdclean.Entry
+	for _, e := range snap.Entries {
+		if e.V2 != nil && e.V3 == nil {
+			v2only = e
+			break
+		}
+	}
+	if v2only == nil {
+		t.Fatal("no v2-only entry in demo snapshot")
+	}
+	added := v2only.Clone()
+	added.ID = "CVE-2018-9999"
+	modified := v2only.Clone()
+	modified.Descriptions[0].Value += " Exploited in the wild."
+
+	update := &nvdclean.Snapshot{
+		CapturedAt: snap.CapturedAt.Add(24 * time.Hour),
+		Entries:    []*nvdclean.Entry{added, modified},
+	}
+	var body bytes.Buffer
+	if err := nvdclean.WriteFeed(&body, update); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/feed", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summary map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&summary); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /feed = %d: %v", resp.StatusCode, summary)
+	}
+	if int(summary["added"].(float64)) != 1 || int(summary["modified"].(float64)) != 1 {
+		t.Fatalf("summary = %v", summary)
+	}
+	if summary["engineWarmStart"] != true {
+		t.Errorf("v2-only update should warm-start the engine: %v", summary)
+	}
+
+	after := srv.cur.Load()
+	if after == before || after.generation != before.generation+1 {
+		t.Fatalf("generation did not advance: %d -> %d", before.generation, after.generation)
+	}
+	if !after.incremental {
+		t.Error("feed update should be an incremental generation")
+	}
+	// The old generation still serves its own view (zero downtime).
+	if _, ok := before.byID["CVE-2018-9999"]; ok {
+		t.Error("previous generation was mutated by the update")
+	}
+
+	var view cveView
+	if code := getJSON(t, ts, "/cve/CVE-2018-9999", &view); code != http.StatusOK {
+		t.Fatalf("new CVE not served: %d", code)
+	}
+	if !view.Backported || view.PV3Score == nil {
+		t.Errorf("new v2-only CVE should carry a backported score: %+v", view)
+	}
+
+	// Re-posting the same update is a no-op.
+	body.Reset()
+	if err := nvdclean.WriteFeed(&body, update); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ts.Client().Post(ts.URL+"/feed", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary = map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&summary); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if int(summary["changed"].(float64)) != 0 {
+		t.Errorf("idempotent repost changed %v entries", summary["changed"])
+	}
+}
+
+func TestParseModels(t *testing.T) {
+	if kinds, err := parseModels("LR,cnn"); err != nil ||
+		len(kinds) != 2 || kinds[0] != predict.ModelLR || kinds[1] != predict.ModelCNN {
+		t.Errorf("parseModels = %v, %v", kinds, err)
+	}
+	if kinds, err := parseModels("all"); err != nil || kinds != nil {
+		t.Errorf("all = %v, %v", kinds, err)
+	}
+	if _, err := parseModels("LR,bogus"); err == nil {
+		t.Error("bogus model should fail")
+	}
+}
+
+// TestNvdserveSmoke is the CI smoke test: build the real binary, start
+// the daemon on an ephemeral port, and query it over actual HTTP.
+func TestNvdserveSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec smoke test skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "nvdserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building nvdserve: %v\n%s", err, out)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, bin, "-addr", "127.0.0.1:0", "-demo", "tiny")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cancel()
+		_ = cmd.Wait()
+	}()
+
+	// The daemon prints its bound address once listening.
+	var base string
+	scanner := bufio.NewScanner(stdout)
+	for scanner.Scan() {
+		line := scanner.Text()
+		t.Log(line)
+		if rest, ok := strings.CutPrefix(line, "nvdserve: listening on "); ok {
+			base = rest
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never reported a listen address: %v", scanner.Err())
+	}
+
+	get := func(path string, out any) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode
+	}
+
+	var health map[string]any
+	if code := get("/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("/healthz = %d %v", code, health)
+	}
+	// Discover a real CVE ID through /query, then fetch it.
+	var q struct {
+		Results []struct {
+			ID string `json:"id"`
+		} `json:"results"`
+	}
+	if code := get("/query?limit=1", &q); code != http.StatusOK || len(q.Results) == 0 {
+		t.Fatalf("/query = %d %+v", code, q)
+	}
+	var view map[string]any
+	if code := get(fmt.Sprintf("/cve/%s", q.Results[0].ID), &view); code != http.StatusOK {
+		t.Fatalf("/cve/%s = %d", q.Results[0].ID, code)
+	}
+	if view["id"] != q.Results[0].ID {
+		t.Fatalf("served %v, want %s", view["id"], q.Results[0].ID)
+	}
+}

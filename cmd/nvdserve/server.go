@@ -1,0 +1,460 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvdclean"
+	"nvdclean/internal/cvss"
+	"nvdclean/internal/predict"
+)
+
+// serveState is one immutable generation of the served snapshot. The
+// server swaps whole generations atomically, so readers never observe
+// a half-cleaned view and POST /feed re-cleans cause zero downtime.
+type serveState struct {
+	res      *nvdclean.Result
+	byID     map[string]*nvdclean.Entry
+	loadedAt time.Time
+	cleanDur time.Duration
+	// generation counts snapshot swaps since boot; incremental marks a
+	// generation produced by CleanDelta rather than a full Clean.
+	generation  int
+	incremental bool
+	warmStart   bool
+}
+
+// server is the nvdserve daemon: it owns the current snapshot
+// generation and the cleaning options reloads run with.
+type server struct {
+	opts nvdclean.Options
+	cur  atomic.Pointer[serveState]
+	// feedMu serializes POST /feed pipelines; reads are lock-free.
+	feedMu sync.Mutex
+}
+
+func newServer(opts nvdclean.Options) *server {
+	return &server{opts: opts}
+}
+
+// load runs the full pipeline on snap and installs the result as the
+// current generation.
+func (s *server) load(ctx context.Context, snap *nvdclean.Snapshot) error {
+	start := time.Now()
+	res, err := nvdclean.Clean(ctx, snap, s.opts)
+	if err != nil {
+		return err
+	}
+	gen := 1
+	if prev := s.cur.Load(); prev != nil {
+		gen = prev.generation + 1
+	}
+	s.cur.Store(newState(res, time.Since(start), gen, false, false))
+	return nil
+}
+
+func newState(res *nvdclean.Result, dur time.Duration, gen int, incremental, warm bool) *serveState {
+	byID := make(map[string]*nvdclean.Entry, res.Cleaned.Len())
+	for _, e := range res.Cleaned.Entries {
+		byID[e.ID] = e
+	}
+	return &serveState{
+		res: res, byID: byID,
+		loadedAt: time.Now(), cleanDur: dur,
+		generation: gen, incremental: incremental, warmStart: warm,
+	}
+}
+
+// handler builds the HTTP mux.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /cve/{id}", s.handleCVE)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /feed", s.handleFeed)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) state(w http.ResponseWriter) *serveState {
+	st := s.cur.Load()
+	if st == nil {
+		writeError(w, http.StatusServiceUnavailable, "no snapshot loaded yet")
+		return nil
+	}
+	return st
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cur.Load()
+	if st == nil {
+		writeError(w, http.StatusServiceUnavailable, "loading")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"entries":    st.res.Cleaned.Len(),
+		"generation": st.generation,
+	})
+}
+
+// affectedView is one (vendor, product) pair of a CVE.
+type affectedView struct {
+	Vendor  string `json:"vendor"`
+	Product string `json:"product"`
+}
+
+// cveView is the JSON shape of one served CVE: the cleaned entry plus
+// every pipeline artifact attached to it.
+type cveView struct {
+	ID           string         `json:"id"`
+	Published    time.Time      `json:"published"`
+	Descriptions []string       `json:"descriptions,omitempty"`
+	CWEs         []string       `json:"cwes,omitempty"`
+	Affected     []affectedView `json:"affected,omitempty"`
+	References   []string       `json:"references,omitempty"`
+
+	V2Score    *float64 `json:"v2Score,omitempty"`
+	V2Severity string   `json:"v2Severity,omitempty"`
+	V3Score    *float64 `json:"v3Score,omitempty"`
+	V3Severity string   `json:"v3Severity,omitempty"`
+	// Backported marks entries whose v3 score is the §4.3 prediction.
+	Backported  bool     `json:"backported,omitempty"`
+	PV3Score    *float64 `json:"pv3Score,omitempty"`
+	PV3Severity string   `json:"pv3Severity,omitempty"`
+
+	EstimatedDisclosure *time.Time `json:"estimatedDisclosure,omitempty"`
+	LagDays             *int       `json:"lagDays,omitempty"`
+
+	VendorConsolidated  bool `json:"vendorConsolidated,omitempty"`
+	ProductConsolidated bool `json:"productConsolidated,omitempty"`
+}
+
+func (st *serveState) view(e *nvdclean.Entry) cveView {
+	v := cveView{ID: e.ID, Published: e.Published}
+	for _, d := range e.Descriptions {
+		v.Descriptions = append(v.Descriptions, d.Value)
+	}
+	for _, c := range e.CWEs {
+		v.CWEs = append(v.CWEs, c.String())
+	}
+	for _, n := range e.CPEs {
+		v.Affected = append(v.Affected, affectedView{Vendor: n.Vendor, Product: n.Product})
+	}
+	for _, r := range e.References {
+		v.References = append(v.References, r.URL)
+	}
+	if e.V2 != nil {
+		score := e.V2.BaseScore()
+		v.V2Score = &score
+		v.V2Severity = e.V2.Severity().String()
+	}
+	if e.V3 != nil {
+		score := e.V3.BaseScore()
+		v.V3Score = &score
+		v.V3Severity = e.V3.Severity().String()
+	}
+	if e.V3 == nil && st.res.Backport != nil {
+		if score, ok := st.res.Backport.Scores[e.ID]; ok {
+			v.Backported = true
+			v.PV3Score = &score
+			v.PV3Severity = cvss.SeverityV3(score).String()
+		}
+	}
+	if d, ok := st.res.EstimatedDisclosure[e.ID]; ok {
+		v.EstimatedDisclosure = &d
+		lag := st.res.LagDays[e.ID]
+		v.LagDays = &lag
+	}
+	v.VendorConsolidated = st.res.VendorChanged[e.ID]
+	v.ProductConsolidated = st.res.ProductChanged[e.ID]
+	return v
+}
+
+func (s *server) handleCVE(w http.ResponseWriter, r *http.Request) {
+	st := s.state(w)
+	if st == nil {
+		return
+	}
+	id := r.PathValue("id")
+	e, ok := st.byID[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, "no entry %s", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st.view(e))
+}
+
+// handleQuery filters the cleaned snapshot by consolidated vendor,
+// product, pv3 severity band (real v3 when present, backported
+// otherwise) and year.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	st := s.state(w)
+	if st == nil {
+		return
+	}
+	q := r.URL.Query()
+	vendor := q.Get("vendor")
+	product := q.Get("product")
+	year := 0
+	if y := q.Get("year"); y != "" {
+		var err error
+		if year, err = strconv.Atoi(y); err != nil {
+			writeError(w, http.StatusBadRequest, "bad year %q", y)
+			return
+		}
+	}
+	var wantSev cvss.Severity
+	filterSev := false
+	if sev := q.Get("severity"); sev != "" {
+		var ok bool
+		if wantSev, ok = cvss.ParseSeverity(sev); !ok {
+			writeError(w, http.StatusBadRequest, "bad severity %q", sev)
+			return
+		}
+		filterSev = true
+	}
+	limit := 50
+	if l := q.Get("limit"); l != "" {
+		var err error
+		if limit, err = strconv.Atoi(l); err != nil || limit < 1 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", l)
+			return
+		}
+	}
+
+	type hit struct {
+		ID          string   `json:"id"`
+		Severity    string   `json:"severity,omitempty"`
+		Score       *float64 `json:"score,omitempty"`
+		Backported  bool     `json:"backported,omitempty"`
+		VendorMatch string   `json:"vendor,omitempty"`
+	}
+	var hits []hit
+	total := 0
+	for _, e := range st.res.Cleaned.Entries {
+		if year != 0 && e.Year() != year {
+			continue
+		}
+		matchedVendor := ""
+		if vendor != "" || product != "" {
+			found := false
+			for _, n := range e.CPEs {
+				if vendor != "" && n.Vendor != vendor {
+					continue
+				}
+				if product != "" && n.Product != product {
+					continue
+				}
+				found, matchedVendor = true, n.Vendor
+				break
+			}
+			if !found {
+				continue
+			}
+		}
+		sev, hasSev := predict.PV3Severity(e, st.res.Backport)
+		if filterSev && (!hasSev || sev != wantSev) {
+			continue
+		}
+		total++
+		if len(hits) >= limit {
+			continue
+		}
+		h := hit{ID: e.ID, VendorMatch: matchedVendor}
+		if hasSev {
+			h.Severity = sev.String()
+		}
+		if e.V3 != nil {
+			score := e.V3.BaseScore()
+			h.Score = &score
+		} else if st.res.Backport != nil {
+			if score, ok := st.res.Backport.Scores[e.ID]; ok {
+				h.Score = &score
+				h.Backported = true
+			}
+		}
+		hits = append(hits, h)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":   total,
+		"limit":   limit,
+		"results": hits,
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.state(w)
+	if st == nil {
+		return
+	}
+	res := st.res
+	stats := map[string]any{
+		"entries":          res.Cleaned.Len(),
+		"capturedAt":       res.Cleaned.CapturedAt,
+		"distinctVendors":  res.Cleaned.DistinctVendors(),
+		"distinctProducts": res.Cleaned.DistinctProducts(),
+		"generation":       st.generation,
+		"loadedAt":         st.loadedAt,
+		"cleanMillis":      st.cleanDur.Milliseconds(),
+		"incremental":      st.incremental,
+		"engineWarmStart":  st.warmStart,
+		"naming": map[string]any{
+			"vendorsConsolidated":  res.VendorMap.Len(),
+			"productsConsolidated": res.ProductMap.Len(),
+			"cvesVendorChanged":    len(res.VendorChanged),
+			"cvesProductChanged":   len(res.ProductChanged),
+		},
+		"cweCorrection": res.CWECorrection,
+	}
+	if res.CrawlStats.URLs > 0 {
+		stats["crawl"] = map[string]any{
+			"urls":      res.CrawlStats.URLs,
+			"fetched":   res.CrawlStats.Fetched,
+			"extracted": res.CrawlStats.Extracted,
+			"skipped":   res.CrawlStats.Skipped,
+			"coverage":  res.CrawlStats.Coverage(),
+		}
+	}
+	if res.Engine != nil {
+		best := res.Engine.Best()
+		engine := map[string]any{"model": best.String()}
+		if ev := res.Engine.Evaluation(best); ev != nil {
+			engine["accuracy"] = ev.Accuracy
+		}
+		if res.Backport != nil {
+			engine["backported"] = len(res.Backport.Scores)
+		}
+		stats["engine"] = engine
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// handleFeed ingests a feed update: the posted body is an NVD JSON 1.1
+// feed whose entries are upserted into the current snapshot (mode=
+// replace instead treats the body as a complete capture, so entries it
+// omits are removed). The delta re-cleans incrementally off the serving
+// generation, which keeps serving until the swap.
+func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	snap, err := nvdclean.LoadFeed(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing feed: %v", err)
+		return
+	}
+	s.feedMu.Lock()
+	defer s.feedMu.Unlock()
+	st := s.state(w)
+	if st == nil {
+		return
+	}
+	prev := st.res
+
+	var delta *nvdclean.Delta
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "upsert":
+		delta = upsertDelta(prev.Original, snap)
+	case "replace":
+		delta = nvdclean.Diff(prev.Original, snap)
+	default:
+		writeError(w, http.StatusBadRequest, "bad mode %q (want upsert or replace)", mode)
+		return
+	}
+
+	summary := map[string]any{
+		"added":    len(delta.Added),
+		"modified": len(delta.Modified),
+		"removed":  len(delta.Removed),
+	}
+	if delta.Empty() {
+		summary["changed"] = 0
+		summary["generation"] = st.generation
+		writeJSON(w, http.StatusOK, summary)
+		return
+	}
+
+	start := time.Now()
+	res, err := nvdclean.CleanDelta(r.Context(), prev, delta, s.opts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "incremental clean: %v", err)
+		return
+	}
+	dur := time.Since(start)
+	warm := res.Engine != nil && res.Engine == prev.Engine
+	next := newState(res, dur, st.generation+1, true, warm)
+	s.cur.Store(next)
+
+	summary["changed"] = delta.Size()
+	summary["entries"] = res.Cleaned.Len()
+	summary["cleanMillis"] = dur.Milliseconds()
+	summary["engineWarmStart"] = warm
+	summary["generation"] = next.generation
+	writeJSON(w, http.StatusOK, summary)
+}
+
+// upsertDelta builds the delta for a partial feed: posted entries are
+// added or modified; nothing is removed. This matches the NVD's
+// "modified" data feed semantics.
+func upsertDelta(cur, posted *nvdclean.Snapshot) *nvdclean.Delta {
+	d := &nvdclean.Delta{CapturedAt: posted.CapturedAt}
+	if d.CapturedAt.IsZero() {
+		d.CapturedAt = cur.CapturedAt
+	}
+	byID := make(map[string]*nvdclean.Entry, cur.Len())
+	for _, e := range cur.Entries {
+		byID[e.ID] = e
+	}
+	for _, e := range posted.Entries {
+		prev := byID[e.ID]
+		switch {
+		case prev == nil:
+			d.Added = append(d.Added, e)
+		case !prev.Equal(e):
+			d.Modified = append(d.Modified, e)
+		}
+	}
+	d.Sort()
+	return d
+}
+
+// parseModels turns a comma-separated list ("LR,CNN", "all") into
+// model kinds.
+func parseModels(s string) ([]predict.ModelKind, error) {
+	if s == "" || strings.EqualFold(s, "all") {
+		return nil, nil // nil trains the full zoo
+	}
+	var kinds []predict.ModelKind
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, k := range predict.AllModels() {
+			if strings.EqualFold(k.String(), name) {
+				kinds = append(kinds, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown model %q (want LR, SVR, CNN, DNN or all)", name)
+		}
+	}
+	return kinds, nil
+}

@@ -9,8 +9,9 @@ import (
 )
 
 // TestCleanedFeedRoundTrip exercises the full product path: generate →
-// clean → serialize the rectified feed → reload → verify the
-// corrections survived serialization.
+// clean → materialize backported scores → serialize the rectified feed
+// → reload → verify every correction survived serialization:
+// consolidated names, corrected CWE fields, and backported v3 scores.
 func TestCleanedFeedRoundTrip(t *testing.T) {
 	snap, truth, err := GenerateSnapshot(SmallScale())
 	if err != nil {
@@ -26,6 +27,10 @@ func TestCleanedFeedRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	annotated := ApplyBackport(res.Cleaned, res.Backport)
+	if annotated != len(res.Backport.Scores) {
+		t.Fatalf("annotated %d entries, backport has %d scores", annotated, len(res.Backport.Scores))
+	}
 
 	var buf bytes.Buffer
 	if err := WriteFeed(&buf, res.Cleaned); err != nil {
@@ -38,24 +43,32 @@ func TestCleanedFeedRoundTrip(t *testing.T) {
 	if reloaded.Len() != res.Cleaned.Len() {
 		t.Fatalf("reloaded %d entries, want %d", reloaded.Len(), res.Cleaned.Len())
 	}
-	// Consolidated names and corrected CWE fields survive the feed
-	// format.
+	var consolidated, corrected, backported int
 	for i, e := range reloaded.Entries {
 		want := res.Cleaned.Entries[i]
-		if e.ID != want.ID {
-			t.Fatalf("entry %d: id %s != %s", i, e.ID, want.ID)
+		if !e.Equal(want) {
+			t.Fatalf("%s: cleaned entry does not survive the feed round trip", want.ID)
 		}
-		if len(e.CPEs) != len(want.CPEs) {
-			t.Fatalf("%s: CPE count changed", e.ID)
-		}
-		for j := range e.CPEs {
-			if e.CPEs[j].Vendor != want.CPEs[j].Vendor || e.CPEs[j].Product != want.CPEs[j].Product {
-				t.Fatalf("%s: CPE %d changed: %v != %v", e.ID, j, e.CPEs[j], want.CPEs[j])
+		orig := res.Original.ByID(want.ID)
+		for j := range want.CPEs {
+			if want.CPEs[j].Vendor != orig.CPEs[j].Vendor || want.CPEs[j].Product != orig.CPEs[j].Product {
+				consolidated++
+				break
 			}
 		}
-		if len(e.CWEs) != len(want.CWEs) {
-			t.Fatalf("%s: CWE count changed", e.ID)
+		if want.Typed() && !orig.Typed() {
+			corrected++
 		}
+		if want.PV3 != nil {
+			if e.PV3 == nil || *e.PV3 != *want.PV3 {
+				t.Fatalf("%s: backported score lost in round trip", want.ID)
+			}
+			backported++
+		}
+	}
+	if consolidated == 0 || corrected == 0 || backported == 0 {
+		t.Errorf("round trip exercised consolidation=%d corrections=%d backports=%d; all must be > 0",
+			consolidated, corrected, backported)
 	}
 }
 

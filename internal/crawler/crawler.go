@@ -213,19 +213,22 @@ type Result struct {
 	LagDays int
 }
 
-// EstimateAll crawls every entry of the snapshot on a bounded worker
-// pool of the configured concurrency and returns per-CVE results
-// (in snapshot order) plus aggregate stats. Each entry writes only its
-// own result and stats slot; the stats fold in entry order afterward,
-// so the outcome is identical at any concurrency.
-func (c *Crawler) EstimateAll(ctx context.Context, snap *cve.Snapshot) ([]Result, Stats, error) {
-	results := make([]Result, len(snap.Entries))
-	perEntry := make([]Stats, len(snap.Entries))
-	err := parallel.ForErr(c.cfg.Concurrency, len(snap.Entries), func(i int) error {
+// EstimateEntries crawls the given entries on a bounded worker pool of
+// the configured concurrency and returns one Result and one Stats per
+// entry, index-aligned with the input. Each entry writes only its own
+// slots, so the outcome is identical at any concurrency. Per-entry
+// stats are what make incremental cleaning possible: an entry's crawl
+// outcome is a pure function of the entry (the memo only skips
+// repeated fetches, it never changes accounting), so unchanged entries
+// of a feed delta can reuse their recorded stats verbatim.
+func (c *Crawler) EstimateEntries(ctx context.Context, entries []*cve.Entry) ([]Result, []Stats, error) {
+	results := make([]Result, len(entries))
+	perEntry := make([]Stats, len(entries))
+	err := parallel.ForErr(c.cfg.Concurrency, len(entries), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("crawler: %w", err)
 		}
-		e := snap.Entries[i]
+		e := entries[i]
 		est, st := c.Estimate(ctx, e)
 		lag := int(e.Published.Sub(est).Hours() / 24)
 		if lag < 0 {
@@ -235,7 +238,15 @@ func (c *Crawler) EstimateAll(ctx context.Context, snap *cve.Snapshot) ([]Result
 		perEntry[i] = st
 		return nil
 	})
-	agg := parallel.OrderedReduce(c.cfg.Concurrency, len(perEntry), 1024, Stats{},
+	if err != nil {
+		return nil, perEntry, err
+	}
+	return results, perEntry, nil
+}
+
+// FoldStats reduces per-entry stats to the aggregate in entry order.
+func FoldStats(workers int, perEntry []Stats) Stats {
+	return parallel.OrderedReduce(workers, len(perEntry), 1024, Stats{},
 		func(start, end int) Stats {
 			var s Stats
 			for i := start; i < end; i++ {
@@ -244,6 +255,13 @@ func (c *Crawler) EstimateAll(ctx context.Context, snap *cve.Snapshot) ([]Result
 			return s
 		},
 		func(acc, part Stats) Stats { acc.add(part); return acc })
+}
+
+// EstimateAll crawls every entry of the snapshot and returns per-CVE
+// results (in snapshot order) plus aggregate stats.
+func (c *Crawler) EstimateAll(ctx context.Context, snap *cve.Snapshot) ([]Result, Stats, error) {
+	results, perEntry, err := c.EstimateEntries(ctx, snap.Entries)
+	agg := FoldStats(c.cfg.Concurrency, perEntry)
 	if err != nil {
 		return nil, agg, err
 	}

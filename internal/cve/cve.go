@@ -50,6 +50,11 @@ type Entry struct {
 	// V3 is the CVSS v3 base vector; nil when absent (two thirds of the
 	// paper's snapshot).
 	V3 *cvss.VectorV3
+	// PV3 is the backported (predicted) CVSS v3 base score for v2-only
+	// entries — the paper's "pv3" scoring. It is an extension field
+	// populated by the cleaning pipeline's ApplyBackport step, carried
+	// through the feed codec under a non-NVD key; nil when absent.
+	PV3 *float64
 	// CPEs lists the affected vendor/product names.
 	CPEs []cpe.Name
 	// References lists the attached URLs.
@@ -193,6 +198,10 @@ func (e *Entry) Clone() *Entry {
 	if e.V3 != nil {
 		v := *e.V3
 		c.V3 = &v
+	}
+	if e.PV3 != nil {
+		v := *e.PV3
+		c.PV3 = &v
 	}
 	return &c
 }

@@ -1,0 +1,218 @@
+package cve
+
+import (
+	"sort"
+	"time"
+)
+
+// Equal reports whether two entries carry identical data, field by
+// field. Timestamps compare with time.Time.Equal so a parsed feed
+// entry matches its in-memory source regardless of monotonic-clock
+// noise. Diff uses this to decide whether a feed update actually
+// changed an entry.
+func (e *Entry) Equal(o *Entry) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if e.ID != o.ID ||
+		!e.Published.Equal(o.Published) ||
+		!e.LastModified.Equal(o.LastModified) ||
+		len(e.Descriptions) != len(o.Descriptions) ||
+		len(e.CWEs) != len(o.CWEs) ||
+		len(e.CPEs) != len(o.CPEs) ||
+		len(e.References) != len(o.References) {
+		return false
+	}
+	for i := range e.Descriptions {
+		if e.Descriptions[i] != o.Descriptions[i] {
+			return false
+		}
+	}
+	for i := range e.CWEs {
+		if e.CWEs[i] != o.CWEs[i] {
+			return false
+		}
+	}
+	for i := range e.CPEs {
+		if e.CPEs[i] != o.CPEs[i] {
+			return false
+		}
+	}
+	for i := range e.References {
+		a, b := e.References[i], o.References[i]
+		if a.URL != b.URL || len(a.Tags) != len(b.Tags) {
+			return false
+		}
+		for j := range a.Tags {
+			if a.Tags[j] != b.Tags[j] {
+				return false
+			}
+		}
+	}
+	if (e.V2 == nil) != (o.V2 == nil) || (e.V2 != nil && *e.V2 != *o.V2) {
+		return false
+	}
+	if (e.V3 == nil) != (o.V3 == nil) || (e.V3 != nil && *e.V3 != *o.V3) {
+		return false
+	}
+	if (e.PV3 == nil) != (o.PV3 == nil) || (e.PV3 != nil && *e.PV3 != *o.PV3) {
+		return false
+	}
+	return true
+}
+
+// Delta is the difference between two snapshots of the same feed — the
+// unit of incremental cleaning. The real NVD is a feed that grows
+// daily; a Delta captures one day's worth of movement without
+// reprocessing the capture.
+type Delta struct {
+	// CapturedAt is the capture time of the newer snapshot.
+	CapturedAt time.Time
+	// Added holds entries present only in the newer snapshot, sorted
+	// by ID.
+	Added []*Entry
+	// Modified holds the newer versions of entries present in both
+	// snapshots but no longer equal, sorted by ID.
+	Modified []*Entry
+	// Removed lists IDs present only in the older snapshot, sorted.
+	Removed []string
+}
+
+// Empty reports whether the delta carries no changes.
+func (d *Delta) Empty() bool {
+	return d == nil || (len(d.Added) == 0 && len(d.Modified) == 0 && len(d.Removed) == 0)
+}
+
+// Size returns the number of changed entries.
+func (d *Delta) Size() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.Added) + len(d.Modified) + len(d.Removed)
+}
+
+// Sort normalizes the delta into its documented order: Added and
+// Modified by ID, Removed likewise. Diff returns sorted deltas
+// already; hand-assembled deltas (feed upserts) should call this.
+func (d *Delta) Sort() {
+	if d == nil {
+		return
+	}
+	sortEntries(d.Added)
+	sortEntries(d.Modified)
+	sortIDs(d.Removed)
+}
+
+// ChangedIDs returns the IDs of added and modified entries, sorted.
+func (d *Delta) ChangedIDs() []string {
+	if d == nil {
+		return nil
+	}
+	out := make([]string, 0, len(d.Added)+len(d.Modified))
+	for _, e := range d.Added {
+		out = append(out, e.ID)
+	}
+	for _, e := range d.Modified {
+		out = append(out, e.ID)
+	}
+	sortIDs(out)
+	return out
+}
+
+// sortIDs orders CVE identifiers by (year, sequence), falling back to
+// lexical order for malformed IDs.
+func sortIDs(ids []string) {
+	sort.Slice(ids, func(i, j int) bool { return idLess(ids[i], ids[j]) })
+}
+
+func idLess(a, b string) bool {
+	ya, sa, erra := SplitID(a)
+	yb, sb, errb := SplitID(b)
+	if erra != nil || errb != nil {
+		return a < b
+	}
+	if ya != yb {
+		return ya < yb
+	}
+	return sa < sb
+}
+
+func sortEntries(entries []*Entry) {
+	sort.Slice(entries, func(i, j int) bool { return idLess(entries[i].ID, entries[j].ID) })
+}
+
+// Diff computes the delta that turns the old snapshot into the new
+// one. Entries are matched by ID and compared deeply with Entry.Equal;
+// the returned slices share entry pointers with the new snapshot.
+func Diff(old, new *Snapshot) *Delta {
+	d := &Delta{}
+	if new != nil {
+		d.CapturedAt = new.CapturedAt
+	}
+	oldByID := make(map[string]*Entry)
+	if old != nil {
+		for _, e := range old.Entries {
+			oldByID[e.ID] = e
+		}
+	}
+	seen := make(map[string]bool)
+	if new != nil {
+		for _, e := range new.Entries {
+			seen[e.ID] = true
+			prev, ok := oldByID[e.ID]
+			switch {
+			case !ok:
+				d.Added = append(d.Added, e)
+			case !prev.Equal(e):
+				d.Modified = append(d.Modified, e)
+			}
+		}
+	}
+	if old != nil {
+		for _, e := range old.Entries {
+			if !seen[e.ID] {
+				d.Removed = append(d.Removed, e.ID)
+			}
+		}
+	}
+	sortEntries(d.Added)
+	sortEntries(d.Modified)
+	sortIDs(d.Removed)
+	return d
+}
+
+// ApplyDelta returns the snapshot that results from applying the delta
+// to s: removed entries dropped, modified entries replaced, added
+// entries inserted, the whole list re-sorted by ID. The receiver is
+// not modified; the result shares entry pointers with s and the delta.
+func (s *Snapshot) ApplyDelta(d *Delta) *Snapshot {
+	out := &Snapshot{CapturedAt: s.CapturedAt}
+	if d == nil {
+		out.Entries = append([]*Entry(nil), s.Entries...)
+		return out
+	}
+	if !d.CapturedAt.IsZero() {
+		out.CapturedAt = d.CapturedAt
+	}
+	removed := make(map[string]bool, len(d.Removed))
+	for _, id := range d.Removed {
+		removed[id] = true
+	}
+	modified := make(map[string]*Entry, len(d.Modified))
+	for _, e := range d.Modified {
+		modified[e.ID] = e
+	}
+	out.Entries = make([]*Entry, 0, len(s.Entries)+len(d.Added))
+	for _, e := range s.Entries {
+		switch {
+		case removed[e.ID]:
+		case modified[e.ID] != nil:
+			out.Entries = append(out.Entries, modified[e.ID])
+		default:
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	out.Entries = append(out.Entries, d.Added...)
+	sortEntries(out.Entries)
+	return out
+}

@@ -1,0 +1,152 @@
+package cve
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"nvdclean/internal/cpe"
+	"nvdclean/internal/cvss"
+	"nvdclean/internal/cwe"
+)
+
+func testEntry(id string, seq int) *Entry {
+	return &Entry{
+		ID:        id,
+		Published: time.Date(2017, 3, 1+seq%20, 0, 0, 0, 0, time.UTC),
+		Descriptions: []Description{
+			{Source: "cve@mitre.org", Value: "A buffer overflow."},
+		},
+		CWEs: []cwe.ID{cwe.ID(119)},
+		V2: &cvss.VectorV2{
+			AccessVector: cvss.AccessNetwork, AccessComplexity: cvss.ComplexityLow,
+			Authentication: cvss.AuthNone, Confidentiality: cvss.ImpactPartial,
+			Integrity: cvss.ImpactPartial, Availability: cvss.ImpactPartial,
+		},
+		CPEs:       []cpe.Name{cpe.NewName(cpe.PartApplication, "acme", "widget", "")},
+		References: []Reference{{URL: "https://example.com/advisory/1", Tags: []string{"Vendor Advisory"}}},
+	}
+}
+
+func TestEntryEqual(t *testing.T) {
+	a := testEntry("CVE-2017-0001", 1)
+	if !a.Equal(a.Clone()) {
+		t.Fatal("entry should equal its clone")
+	}
+	cases := map[string]func(*Entry){
+		"published":   func(e *Entry) { e.Published = e.Published.AddDate(0, 0, 1) },
+		"description": func(e *Entry) { e.Descriptions[0].Value = "changed" },
+		"cwe":         func(e *Entry) { e.CWEs[0] = cwe.ID(79) },
+		"cpe vendor":  func(e *Entry) { e.CPEs[0].Vendor = "acme_inc" },
+		"ref url":     func(e *Entry) { e.References[0].URL = "https://example.com/2" },
+		"ref tags":    func(e *Entry) { e.References[0].Tags = nil },
+		"v2 dropped":  func(e *Entry) { e.V2 = nil },
+		"v2 field":    func(e *Entry) { e.V2.AccessVector = cvss.AccessLocal },
+		"pv3 set":     func(e *Entry) { s := 7.5; e.PV3 = &s },
+	}
+	for name, mutate := range cases {
+		c := a.Clone()
+		mutate(c)
+		if a.Equal(c) {
+			t.Errorf("%s: mutated entry should differ", name)
+		}
+	}
+	// Tag content is compared, not just length.
+	c := a.Clone()
+	c.References[0].Tags[0] = "Patch"
+	if a.Equal(c) {
+		t.Error("tag content change should differ")
+	}
+}
+
+func TestDiffAndApplyDelta(t *testing.T) {
+	old := &Snapshot{CapturedAt: time.Date(2018, 5, 21, 0, 0, 0, 0, time.UTC)}
+	for i := 1; i <= 5; i++ {
+		old.Entries = append(old.Entries, testEntry(FormatID(2017, i), i))
+	}
+	newSnap := &Snapshot{CapturedAt: time.Date(2018, 5, 22, 0, 0, 0, 0, time.UTC)}
+	// Keep 1,2,4 as-is; modify 3; drop 5; add 6 and one from 2016.
+	newSnap.Entries = append(newSnap.Entries, old.Entries[0].Clone(), old.Entries[1].Clone())
+	mod := old.Entries[2].Clone()
+	mod.Descriptions[0].Value = "Updated description."
+	newSnap.Entries = append(newSnap.Entries, mod, old.Entries[3].Clone(),
+		testEntry(FormatID(2017, 6), 6), testEntry(FormatID(2016, 9), 9))
+
+	d := Diff(old, newSnap)
+	if len(d.Added) != 2 || len(d.Modified) != 1 || len(d.Removed) != 1 {
+		t.Fatalf("delta = +%d ~%d -%d, want +2 ~1 -1", len(d.Added), len(d.Modified), len(d.Removed))
+	}
+	if d.Added[0].ID != "CVE-2016-0009" || d.Added[1].ID != "CVE-2017-0006" {
+		t.Errorf("added order: %s, %s", d.Added[0].ID, d.Added[1].ID)
+	}
+	if d.Modified[0].ID != "CVE-2017-0003" || d.Removed[0] != "CVE-2017-0005" {
+		t.Errorf("modified %s, removed %s", d.Modified[0].ID, d.Removed[0])
+	}
+	if !d.CapturedAt.Equal(newSnap.CapturedAt) {
+		t.Error("delta should carry the new capture time")
+	}
+	if d.Empty() || d.Size() != 4 {
+		t.Errorf("Size = %d, want 4", d.Size())
+	}
+
+	merged := old.ApplyDelta(d)
+	if merged.Len() != newSnap.Len() {
+		t.Fatalf("merged %d entries, want %d", merged.Len(), newSnap.Len())
+	}
+	if !merged.CapturedAt.Equal(newSnap.CapturedAt) {
+		t.Error("merged capture time should advance")
+	}
+	// Applying the diff must reproduce the new snapshot exactly, in
+	// sorted order.
+	for i, e := range merged.Entries {
+		if i > 0 && !idLess(merged.Entries[i-1].ID, e.ID) {
+			t.Errorf("merged entries unsorted at %d: %s after %s", i, e.ID, merged.Entries[i-1].ID)
+		}
+		want := newSnap.ByID(e.ID)
+		if want == nil || !e.Equal(want) {
+			t.Errorf("merged %s differs from new snapshot", e.ID)
+		}
+	}
+	// Round trip: diffing the merged snapshot against new is empty.
+	if rt := Diff(merged, newSnap); !rt.Empty() {
+		t.Errorf("Diff(ApplyDelta(old, d), new) not empty: %+v", rt)
+	}
+	// The old snapshot is untouched.
+	if old.Len() != 5 || old.ByID("CVE-2017-0003").Descriptions[0].Value != "A buffer overflow." {
+		t.Error("ApplyDelta mutated the receiver")
+	}
+}
+
+func TestDiffIdenticalSnapshots(t *testing.T) {
+	s := &Snapshot{}
+	for i := 1; i <= 3; i++ {
+		s.Entries = append(s.Entries, testEntry(FormatID(2017, i), i))
+	}
+	if d := Diff(s, s.Clone()); !d.Empty() {
+		t.Errorf("identical snapshots should diff empty, got %d changes", d.Size())
+	}
+}
+
+func TestPV3FeedRoundTrip(t *testing.T) {
+	s := &Snapshot{CapturedAt: time.Date(2018, 5, 21, 0, 0, 0, 0, time.UTC)}
+	e := testEntry("CVE-2017-0001", 1)
+	score := 7.3
+	e.PV3 = &score
+	s.Entries = append(s.Entries, e)
+
+	var buf bytes.Buffer
+	if err := WriteFeed(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFeed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.ByID("CVE-2017-0001")
+	if got.PV3 == nil || *got.PV3 != score {
+		t.Fatalf("PV3 not preserved: %v", got.PV3)
+	}
+	if !e.Equal(got) {
+		t.Error("entry with PV3 should round-trip Equal")
+	}
+}

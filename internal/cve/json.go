@@ -91,6 +91,15 @@ type (
 	impactJSON struct {
 		BaseMetricV3 *baseMetricV3JSON `json:"baseMetricV3,omitempty"`
 		BaseMetricV2 *baseMetricV2JSON `json:"baseMetricV2,omitempty"`
+		// BackportedV3 is this codec's extension slot for the §4.3
+		// predicted v3 score of v2-only CVEs. Real NVD feeds never
+		// carry the key, so reading them is unaffected.
+		BackportedV3 *backportedV3JSON `json:"backportedV3,omitempty"`
+	}
+
+	backportedV3JSON struct {
+		BaseScore    float64 `json:"baseScore"`
+		BaseSeverity string  `json:"baseSeverity"`
 	}
 
 	baseMetricV3JSON struct {
@@ -176,8 +185,14 @@ func encodeItem(e *Entry) itemJSON {
 		item.Configurations = &configsJSON{DataVersion: "4.0", Nodes: []nodeJSON{node}}
 	}
 	// Impact.
-	if e.V2 != nil || e.V3 != nil {
+	if e.V2 != nil || e.V3 != nil || e.PV3 != nil {
 		item.Impact = &impactJSON{}
+		if e.PV3 != nil {
+			item.Impact.BackportedV3 = &backportedV3JSON{
+				BaseScore:    *e.PV3,
+				BaseSeverity: upper(cvss.SeverityV3(*e.PV3).String()),
+			}
+		}
 		if e.V3 != nil {
 			item.Impact.BaseMetricV3 = &baseMetricV3JSON{CVSSV3: cvssV3JSON{
 				Version:      "3.0",
@@ -280,6 +295,10 @@ func decodeItem(item *itemJSON) (*Entry, error) {
 				return nil, fmt.Errorf("v3 vector: %w", perr)
 			}
 			e.V3 = &v
+		}
+		if m := item.Impact.BackportedV3; m != nil {
+			score := m.BaseScore
+			e.PV3 = &score
 		}
 	}
 	return e, nil

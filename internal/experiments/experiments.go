@@ -37,6 +37,18 @@ type Suite struct {
 	Result *nvdclean.Result
 	// Concurrency bounds RenderAll's parallelism (zero: GOMAXPROCS).
 	Concurrency int
+	// render, when set, is the per-render worker budget RenderAll
+	// hands each experiment so the aggregate bound stays exact; zero
+	// (individual renders) means the full Concurrency.
+	render int
+}
+
+// workers returns the worker bound a render should use internally.
+func (s *Suite) workers() int {
+	if s.render > 0 {
+		return s.render
+	}
+	return s.Concurrency
 }
 
 // Options tunes suite construction.
@@ -124,15 +136,29 @@ type Rendered struct {
 // RenderAll computes every experiment concurrently — each render reads
 // only the suite's shared artifacts — and returns the results in paper
 // order. Outputs are identical to rendering serially; only wall-clock
-// time changes with the worker bound. Note the bound is per level:
-// renders fan out at Concurrency, and the few prediction-heavy renders
-// additionally use the engine's own worker bound internally, so peak
-// goroutine count can exceed Concurrency while each stage stays
-// bounded.
+// time changes with the worker bound. The bound is exact in aggregate:
+// renders fan out across at most min(Concurrency, #experiments)
+// workers, and each render's internal parallelism (the engine's batch
+// scoring, the naming re-analysis) is capped at the remaining share of
+// the budget, so total parallelism never multiplies across levels.
 func (s *Suite) RenderAll() []Rendered {
+	total := parallel.Workers(s.Concurrency)
 	exps := s.All()
+	outer := len(exps)
+	if total < outer {
+		outer = total
+	}
+	inner := total / outer
+	if inner < 1 {
+		inner = 1
+	}
+	// Renders go through a shallow copy carrying the per-render share,
+	// so individually invoked experiments keep the full budget.
+	sub := *s
+	sub.render = inner
+	exps = sub.All()
 	out := make([]Rendered, len(exps))
-	parallel.For(s.Concurrency, len(exps), func(i int) {
+	parallel.For(outer, len(exps), func(i int) {
 		r := Rendered{ID: exps[i].ID, Title: exps[i].Title}
 		r.Output, r.Err = exps[i].Render()
 		out[i] = r
@@ -148,7 +174,7 @@ func (s *Suite) Importance() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	imp, err := s.Result.Engine.FeatureImportance(ds, s.Cfg.Seed)
+	imp, err := s.Result.Engine.FeatureImportanceN(ds, s.Cfg.Seed, s.workers())
 	if err != nil {
 		return "", err
 	}
@@ -185,7 +211,7 @@ func (s *Suite) Fig1() (string, error) {
 // Table2 renders the vendor-pattern taxonomy, using the generator's
 // ground truth as the confirmation oracle (the paper's manual vetting).
 func (s *Suite) Table2() (string, error) {
-	va := naming.AnalyzeVendorsN(s.Snap, s.Concurrency)
+	va := naming.AnalyzeVendorsN(s.Snap, s.workers())
 	tbl := naming.BuildTable2(va, naming.OracleJudge{Canonical: s.Truth.CanonicalVendor})
 	var b strings.Builder
 	if err := report.Table2(&b, tbl); err != nil {
@@ -412,7 +438,7 @@ func (s *Suite) Table13() (string, error) {
 		Test:    append(append([]predict.Sample{}, ds.Train...), ds.Test...),
 		Encoder: ds.Encoder,
 	}
-	_, pred, err := s.Result.Engine.TestTransitions(full)
+	_, pred, err := s.Result.Engine.TestTransitionsN(full, s.workers())
 	if err != nil {
 		return "", err
 	}
@@ -427,7 +453,7 @@ func (s *Suite) Table14() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	truth, _, err := s.Result.Engine.TestTransitions(ds)
+	truth, _, err := s.Result.Engine.TestTransitionsN(ds, s.workers())
 	if err != nil {
 		return "", err
 	}
@@ -442,7 +468,7 @@ func (s *Suite) Table15() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	_, pred, err := s.Result.Engine.TestTransitions(ds)
+	_, pred, err := s.Result.Engine.TestTransitionsN(ds, s.workers())
 	if err != nil {
 		return "", err
 	}

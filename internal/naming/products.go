@@ -2,6 +2,7 @@ package naming
 
 import (
 	"sort"
+	"sync"
 	"unicode"
 
 	"nvdclean/internal/cve"
@@ -46,6 +47,72 @@ type ProductAnalysis struct {
 	CVECount map[[2]string]int
 }
 
+// ProductCache carries per-vendor pair blocks across incremental
+// analysis runs. A vendor's pair block is a pure function of its
+// product catalog (the set of product names), so when a feed delta
+// leaves a vendor's catalog untouched the previous block is reused
+// verbatim; only vendors whose catalogs changed are re-surveyed.
+// Staleness is impossible by construction: every reuse re-validates
+// the stored catalog against the current one. Safe for concurrent use.
+type ProductCache struct {
+	mu      sync.Mutex
+	vendors map[string]productCacheEntry
+}
+
+type productCacheEntry struct {
+	catalog map[string]struct{}
+	pairs   []ProductPair
+}
+
+// NewProductCache returns an empty cache.
+func NewProductCache() *ProductCache {
+	return &ProductCache{vendors: make(map[string]productCacheEntry)}
+}
+
+// lookup returns the cached pair block for vendor when its recorded
+// catalog equals the given product set.
+func (c *ProductCache) lookup(vendor string, set map[string]struct{}) ([]ProductPair, bool) {
+	c.mu.Lock()
+	ent, ok := c.vendors[vendor]
+	c.mu.Unlock()
+	if !ok || len(ent.catalog) != len(set) {
+		return nil, false
+	}
+	for p := range set {
+		if _, ok := ent.catalog[p]; !ok {
+			return nil, false
+		}
+	}
+	return ent.pairs, true
+}
+
+// store records vendor's pair block for the given catalog.
+func (c *ProductCache) store(vendor string, set map[string]struct{}, pairs []ProductPair) {
+	c.mu.Lock()
+	c.vendors[vendor] = productCacheEntry{catalog: set, pairs: pairs}
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached vendors.
+func (c *ProductCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.vendors)
+}
+
+// Prune drops cached blocks for vendors keep rejects, bounding a
+// long-lived incremental pipeline's memory by the current feed rather
+// than by every vendor ever seen.
+func (c *ProductCache) Prune(keep func(vendor string) bool) {
+	c.mu.Lock()
+	for v := range c.vendors {
+		if !keep(v) {
+			delete(c.vendors, v)
+		}
+	}
+	c.mu.Unlock()
+}
+
 // AnalyzeProducts surveys product names per vendor using the §4.2
 // heuristics: identical tokenization (internet-explorer vs
 // internet_explorer), first-character abbreviation (ie), and edit
@@ -56,12 +123,19 @@ func AnalyzeProducts(snap *cve.Snapshot) *ProductAnalysis {
 }
 
 // AnalyzeProductsN is AnalyzeProducts with an explicit worker bound
-// (zero means GOMAXPROCS). Vendors are mutually independent — every
-// heuristic blocks within one vendor's catalog — so each worker
-// surveys whole vendors, writing its sorted pair block into the
-// vendor's slot; concatenating the blocks in sorted-vendor order
-// yields the same (Vendor, A, B)-sorted pair list at any concurrency.
+// (zero means GOMAXPROCS).
 func AnalyzeProductsN(snap *cve.Snapshot, workers int) *ProductAnalysis {
+	return AnalyzeProductsCached(snap, workers, nil)
+}
+
+// AnalyzeProductsCached is AnalyzeProductsN with an optional per-vendor
+// cache shared across runs (nil re-surveys everything). Vendors are
+// mutually independent — every heuristic blocks within one vendor's
+// catalog — so each worker surveys whole vendors, writing its sorted
+// pair block into the vendor's slot; concatenating the blocks in
+// sorted-vendor order yields the same (Vendor, A, B)-sorted pair list
+// at any concurrency, with or without a cache.
+func AnalyzeProductsCached(snap *cve.Snapshot, workers int, cache *ProductCache) *ProductAnalysis {
 	pa := &ProductAnalysis{CVECount: make(map[[2]string]int)}
 	perVendor := make(map[string]map[string]struct{})
 	for _, e := range snap.Entries {
@@ -91,6 +165,12 @@ func AnalyzeProductsN(snap *cve.Snapshot, workers int) *ProductAnalysis {
 	parallel.For(workers, len(vendors), func(vi int) {
 		vendor := vendors[vi]
 		set := perVendor[vendor]
+		if cache != nil {
+			if pairs, ok := cache.lookup(vendor, set); ok {
+				perVendorPairs[vi] = pairs
+				return
+			}
+		}
 		products := make([]string, 0, len(set))
 		for p := range set {
 			products = append(products, p)
@@ -209,6 +289,9 @@ func AnalyzeProductsN(snap *cve.Snapshot, workers int) *ProductAnalysis {
 			return pairs[i].B < pairs[j].B
 		})
 		perVendorPairs[vi] = pairs
+		if cache != nil {
+			cache.store(vendor, set, pairs)
+		}
 	})
 	// Vendor blocks concatenate in sorted-vendor order, so the full
 	// list arrives sorted by (Vendor, A, B) without a global sort.

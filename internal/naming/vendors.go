@@ -10,6 +10,7 @@ package naming
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"nvdclean/internal/cve"
 	"nvdclean/internal/parallel"
@@ -76,6 +77,58 @@ type VendorAnalysis struct {
 	Products map[string]map[string]struct{}
 }
 
+// LCSCache memoizes longest-common-substring lengths across analysis
+// runs. LCS is a pure function of the two names and dominates pair
+// scoring, so an incremental re-analysis after a feed delta only pays
+// for pairs involving genuinely new names. Safe for concurrent use.
+type LCSCache struct {
+	mu sync.Mutex
+	m  map[[2]string]int
+}
+
+// NewLCSCache returns an empty cache.
+func NewLCSCache() *LCSCache {
+	return &LCSCache{m: make(map[[2]string]int)}
+}
+
+// LCS returns the longest-common-substring length of a and b,
+// computing and recording it on first use.
+func (c *LCSCache) LCS(a, b string) int {
+	k := [2]string{a, b}
+	c.mu.Lock()
+	v, ok := c.m[k]
+	c.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = textnorm.LongestCommonSubstring(a, b)
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Len returns the number of memoized pairs.
+func (c *LCSCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Prune drops memoized pairs mentioning any name keep rejects. A
+// long-lived incremental pipeline calls this with the current vendor
+// set after each run so names that left the feed stop occupying
+// memory; dropping a live entry is harmless (it recomputes).
+func (c *LCSCache) Prune(keep func(name string) bool) {
+	c.mu.Lock()
+	for k := range c.m {
+		if !keep(k[0]) || !keep(k[1]) {
+			delete(c.m, k)
+		}
+	}
+	c.mu.Unlock()
+}
+
 // AnalyzeVendors surveys a snapshot and generates candidate pairs with
 // the §4.2 vendor heuristics, scoring pairs with GOMAXPROCS workers.
 func AnalyzeVendors(snap *cve.Snapshot) *VendorAnalysis {
@@ -83,13 +136,20 @@ func AnalyzeVendors(snap *cve.Snapshot) *VendorAnalysis {
 }
 
 // AnalyzeVendorsN is AnalyzeVendors with an explicit worker bound
-// (zero means GOMAXPROCS). Candidate generation uses pure blocking
-// strategies to stay far from O(V²) — names are bucketed by stripped
-// form, deletion signature, abbreviation, product, and a sorted-prefix
-// scan — and the surviving candidates are scored (LCS, shared-product
-// counts) in parallel, each pair writing only its own slot of the
-// sorted pair list, so the analysis is identical at any concurrency.
+// (zero means GOMAXPROCS).
 func AnalyzeVendorsN(snap *cve.Snapshot, workers int) *VendorAnalysis {
+	return AnalyzeVendorsCached(snap, workers, nil)
+}
+
+// AnalyzeVendorsCached is AnalyzeVendorsN with an optional LCS memo
+// shared across runs (nil computes every score fresh). Candidate
+// generation uses pure blocking strategies to stay far from O(V²) —
+// names are bucketed by stripped form, deletion signature,
+// abbreviation, product, and a sorted-prefix scan — and the surviving
+// candidates are scored (LCS, shared-product counts) in parallel, each
+// pair writing only its own slot of the sorted pair list, so the
+// analysis is identical at any concurrency, with or without a cache.
+func AnalyzeVendorsCached(snap *cve.Snapshot, workers int, lcs *LCSCache) *VendorAnalysis {
 	va := &VendorAnalysis{
 		CVECount: snap.VendorCVECount(),
 		Products: snap.VendorProducts(),
@@ -237,7 +297,11 @@ func AnalyzeVendorsN(snap *cve.Snapshot, workers int) *VendorAnalysis {
 			vp.Patterns = append(vp.Patterns, p)
 		}
 		sort.Slice(vp.Patterns, func(a, b int) bool { return vp.Patterns[a] < vp.Patterns[b] })
-		vp.LCS = textnorm.LongestCommonSubstring(k[0], k[1])
+		if lcs != nil {
+			vp.LCS = lcs.LCS(k[0], k[1])
+		} else {
+			vp.LCS = textnorm.LongestCommonSubstring(k[0], k[1])
+		}
 		vp.MatchingProducts = countShared(va.Products[k[0]], va.Products[k[1]])
 		vp.SmallerCatalog = len(va.Products[k[0]])
 		if n := len(va.Products[k[1]]); n < vp.SmallerCatalog {

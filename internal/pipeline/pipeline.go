@@ -1,0 +1,273 @@
+// Package pipeline is the staged execution engine of the cleaning
+// system: named stages declare the artifacts they need and provide, a
+// DAG scheduler overlaps every stage whose inputs are ready, and an
+// ArtifactStore carries the typed intermediate results between them.
+//
+// The scheduler owns two things the stages should not:
+//
+//   - Stage overlap. A stage launches the moment every artifact it
+//     Needs is present in the store, so independent stages (the §4.1
+//     crawl and the §4.2 naming consolidation, say) run concurrently
+//     without hand-rolled goroutine plumbing.
+//   - The worker budget. Run is given one total worker budget; each
+//     launching stage receives an equal share of it relative to the
+//     number of stages in flight, so the aggregate parallelism stays
+//     near the budget instead of multiplying per level.
+//
+// Stages must be worker-invariant — the repository-wide contract that
+// output bits never depend on the worker count — which is what lets
+// the scheduler hand out budget shares freely: the split changes only
+// wall-clock time, never results.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"nvdclean/internal/parallel"
+)
+
+// Store is the artifact store: a keyed set of typed intermediate
+// results shared by the stages of one run. It is safe for concurrent
+// use.
+type Store struct {
+	mu   sync.RWMutex
+	vals map[string]any
+}
+
+// NewStore returns an empty store. Seed it with Put before Run for
+// artifacts that exist up front (the input snapshot, its clone).
+func NewStore() *Store {
+	return &Store{vals: make(map[string]any)}
+}
+
+// Put stores an artifact under key, replacing any previous value.
+func (s *Store) Put(key string, v any) {
+	s.mu.Lock()
+	s.vals[key] = v
+	s.mu.Unlock()
+}
+
+// Value returns the raw artifact under key.
+func (s *Store) Value(key string) (any, bool) {
+	s.mu.RLock()
+	v, ok := s.vals[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Has reports whether an artifact exists under key.
+func (s *Store) Has(key string) bool {
+	_, ok := s.Value(key)
+	return ok
+}
+
+// Keys returns every artifact key, sorted.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.vals))
+	for k := range s.vals {
+		out = append(out, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Get fetches a typed artifact from the store, failing loudly when the
+// artifact is missing or holds a different type — both are wiring bugs
+// in the stage graph, not runtime conditions.
+func Get[T any](s *Store, key string) (T, error) {
+	var zero T
+	v, ok := s.Value(key)
+	if !ok {
+		return zero, fmt.Errorf("pipeline: artifact %q not in store", key)
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("pipeline: artifact %q is %T, not %T", key, v, zero)
+	}
+	return t, nil
+}
+
+// Stage is one named unit of pipeline work. Needs lists the artifact
+// keys that must be in the store before the stage can run; Provides
+// lists the keys the stage is responsible for putting there. Run
+// receives the stage's worker-budget share and the shared store.
+type Stage struct {
+	Name     string
+	Needs    []string
+	Provides []string
+	Run      func(ctx context.Context, workers int, store *Store) error
+}
+
+// Engine schedules a set of stages as a DAG over an artifact store.
+type Engine struct {
+	budget int
+	stages []Stage
+}
+
+// New returns an engine with the given total worker budget (zero or
+// negative means GOMAXPROCS, the repository-wide convention).
+func New(budget int) *Engine {
+	return &Engine{budget: parallel.Workers(budget)}
+}
+
+// Add appends a stage. Stages added first win ties in error reporting,
+// mirroring parallel.Group's first-in-Add-order semantics.
+func (e *Engine) Add(st Stage) {
+	e.stages = append(e.stages, st)
+}
+
+// validate checks the stage graph against the seeded store: unique
+// stage names, unique providers per artifact, and every Need either
+// seeded or provided by some stage.
+func (e *Engine) validate(store *Store) error {
+	names := make(map[string]bool, len(e.stages))
+	providers := make(map[string]string)
+	for _, st := range e.stages {
+		if st.Name == "" || st.Run == nil {
+			return fmt.Errorf("pipeline: stage %q must have a name and a Run func", st.Name)
+		}
+		if names[st.Name] {
+			return fmt.Errorf("pipeline: duplicate stage %q", st.Name)
+		}
+		names[st.Name] = true
+		for _, p := range st.Provides {
+			if prev, ok := providers[p]; ok {
+				return fmt.Errorf("pipeline: artifact %q provided by both %q and %q", p, prev, st.Name)
+			}
+			providers[p] = st.Name
+		}
+	}
+	for _, st := range e.stages {
+		for _, need := range st.Needs {
+			if _, provided := providers[need]; !provided && !store.Has(need) {
+				return fmt.Errorf("pipeline: stage %q needs artifact %q, which is neither seeded nor provided", st.Name, need)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the stage graph: every stage launches as soon as its
+// Needs are satisfied, newly launching stages split the worker budget
+// with the stages already in flight, and Run returns after every
+// launched stage has finished. On error, no further stages launch and
+// the first error in Add order is returned; a canceled context stops
+// new launches and surfaces ctx.Err() once in-flight stages drain.
+// Stage panics are repanicked on the calling goroutine, matching
+// internal/parallel.
+func (e *Engine) Run(ctx context.Context, store *Store) error {
+	if store == nil {
+		store = NewStore()
+	}
+	if err := e.validate(store); err != nil {
+		return err
+	}
+	n := len(e.stages)
+	avail := make(map[string]bool)
+	for _, k := range store.Keys() {
+		avail[k] = true
+	}
+
+	type result struct {
+		idx int
+		err error
+		pan *any
+	}
+	done := make(chan result)
+	launched := make([]bool, n)
+	errs := make([]error, n)
+	var panicked *any
+	finished, running := 0, 0
+	failed := false
+
+	for finished < n {
+		if !failed && ctx.Err() == nil {
+			var ready []int
+			for i, st := range e.stages {
+				if launched[i] {
+					continue
+				}
+				ok := true
+				for _, need := range st.Needs {
+					if !avail[need] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					ready = append(ready, i)
+				}
+			}
+			if len(ready) == 0 && running == 0 {
+				var stuck []string
+				for i, st := range e.stages {
+					if !launched[i] {
+						stuck = append(stuck, st.Name)
+					}
+				}
+				return fmt.Errorf("pipeline: stages %v blocked on artifacts that will never appear (dependency cycle?)", stuck)
+			}
+			if len(ready) > 0 {
+				// Equal budget share across everything in flight once
+				// this wave launches. Stages are worker-invariant, so
+				// the split is a wall-clock decision only.
+				share := e.budget / (running + len(ready))
+				if share < 1 {
+					share = 1
+				}
+				for _, i := range ready {
+					launched[i] = true
+					running++
+					go func(i int, w int) {
+						r := result{idx: i}
+						defer func() { done <- r }()
+						defer func() {
+							if p := recover(); p != nil {
+								r.pan = &p
+							}
+						}()
+						r.err = e.stages[i].Run(ctx, w, store)
+					}(i, share)
+				}
+			}
+		} else if running == 0 {
+			break
+		}
+		r := <-done
+		running--
+		finished++
+		switch {
+		case r.pan != nil:
+			failed = true
+			if panicked == nil {
+				panicked = r.pan
+			}
+		case r.err != nil:
+			failed = true
+			errs[r.idx] = r.err
+		default:
+			for _, p := range e.stages[r.idx].Provides {
+				avail[p] = true
+			}
+		}
+	}
+	if panicked != nil {
+		panic(*panicked)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if finished < n {
+		// Only a canceled context leaves stages unlaunched without an
+		// error of their own.
+		return ctx.Err()
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// linear builds a three-stage chain a -> b -> c recording run order.
+func linear(order *[]string, mu *sync.Mutex) *Engine {
+	e := New(4)
+	record := func(name string) {
+		mu.Lock()
+		*order = append(*order, name)
+		mu.Unlock()
+	}
+	e.Add(Stage{Name: "a", Provides: []string{"A"}, Run: func(ctx context.Context, w int, s *Store) error {
+		record("a")
+		s.Put("A", 1)
+		return nil
+	}})
+	e.Add(Stage{Name: "b", Needs: []string{"A"}, Provides: []string{"B"}, Run: func(ctx context.Context, w int, s *Store) error {
+		record("b")
+		v, err := Get[int](s, "A")
+		if err != nil {
+			return err
+		}
+		s.Put("B", v+1)
+		return nil
+	}})
+	e.Add(Stage{Name: "c", Needs: []string{"B"}, Provides: []string{"C"}, Run: func(ctx context.Context, w int, s *Store) error {
+		record("c")
+		v, err := Get[int](s, "B")
+		if err != nil {
+			return err
+		}
+		s.Put("C", v+1)
+		return nil
+	}})
+	return e
+}
+
+func TestRunLinearChain(t *testing.T) {
+	var order []string
+	var mu sync.Mutex
+	e := linear(&order, &mu)
+	store := NewStore()
+	if err := e.Run(context.Background(), store); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "abc" {
+		t.Errorf("run order %q, want abc", got)
+	}
+	v, err := Get[int](store, "C")
+	if err != nil || v != 3 {
+		t.Errorf("C = %d (%v), want 3", v, err)
+	}
+}
+
+func TestRunOverlapsIndependentStages(t *testing.T) {
+	// Two independent stages must be in flight simultaneously: each
+	// waits for the other's side effect before returning.
+	e := New(4)
+	aArrived := make(chan struct{})
+	bArrived := make(chan struct{})
+	e.Add(Stage{Name: "a", Run: func(ctx context.Context, w int, s *Store) error {
+		close(aArrived)
+		select {
+		case <-bArrived:
+			return nil
+		case <-time.After(5 * time.Second):
+			return errors.New("b never launched while a was running")
+		}
+	}})
+	e.Add(Stage{Name: "b", Run: func(ctx context.Context, w int, s *Store) error {
+		close(bArrived)
+		select {
+		case <-aArrived:
+			return nil
+		case <-time.After(5 * time.Second):
+			return errors.New("a never launched while b was running")
+		}
+	}})
+	if err := e.Run(context.Background(), NewStore()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSplitsWorkerBudget(t *testing.T) {
+	// Two stages launch together on a budget of 8: each should get 4.
+	// A third stage, launching alone afterwards, should get the full 8.
+	e := New(8)
+	var wA, wB, wC atomic.Int64
+	e.Add(Stage{Name: "a", Provides: []string{"A"}, Run: func(ctx context.Context, w int, s *Store) error {
+		wA.Store(int64(w))
+		s.Put("A", true)
+		return nil
+	}})
+	e.Add(Stage{Name: "b", Provides: []string{"B"}, Run: func(ctx context.Context, w int, s *Store) error {
+		wB.Store(int64(w))
+		s.Put("B", true)
+		return nil
+	}})
+	e.Add(Stage{Name: "c", Needs: []string{"A", "B"}, Run: func(ctx context.Context, w int, s *Store) error {
+		wC.Store(int64(w))
+		return nil
+	}})
+	if err := e.Run(context.Background(), NewStore()); err != nil {
+		t.Fatal(err)
+	}
+	if wA.Load() != 4 || wB.Load() != 4 {
+		t.Errorf("concurrent stages got %d and %d workers, want 4 and 4", wA.Load(), wB.Load())
+	}
+	if wC.Load() != 8 {
+		t.Errorf("solo stage got %d workers, want 8", wC.Load())
+	}
+}
+
+func TestRunStopsLaunchingAfterError(t *testing.T) {
+	e := New(2)
+	boom := errors.New("boom")
+	var ran atomic.Bool
+	e.Add(Stage{Name: "a", Provides: []string{"A"}, Run: func(ctx context.Context, w int, s *Store) error {
+		return boom
+	}})
+	e.Add(Stage{Name: "b", Needs: []string{"A"}, Run: func(ctx context.Context, w int, s *Store) error {
+		ran.Store(true)
+		return nil
+	}})
+	err := e.Run(context.Background(), NewStore())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran.Load() {
+		t.Error("downstream stage ran after its dependency failed")
+	}
+}
+
+func TestRunReturnsFirstErrorInAddOrder(t *testing.T) {
+	// Both independent stages fail; the error of the stage added first
+	// wins regardless of completion order.
+	e := New(4)
+	first := errors.New("first")
+	second := errors.New("second")
+	e.Add(Stage{Name: "a", Run: func(ctx context.Context, w int, s *Store) error {
+		time.Sleep(20 * time.Millisecond)
+		return first
+	}})
+	e.Add(Stage{Name: "b", Run: func(ctx context.Context, w int, s *Store) error {
+		return second
+	}})
+	if err := e.Run(context.Background(), NewStore()); !errors.Is(err, first) {
+		t.Errorf("err = %v, want first", err)
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var order []string
+	var mu sync.Mutex
+	e := linear(&order, &mu)
+	err := e.Run(ctx, NewStore())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(order) != 0 {
+		t.Errorf("stages %v ran under a canceled context", order)
+	}
+}
+
+func TestRunDetectsUnsatisfiableGraph(t *testing.T) {
+	e := New(1)
+	e.Add(Stage{Name: "a", Needs: []string{"missing"}, Run: func(ctx context.Context, w int, s *Store) error {
+		return nil
+	}})
+	if err := e.Run(context.Background(), NewStore()); err == nil {
+		t.Fatal("unsatisfiable need should fail validation")
+	}
+}
+
+func TestRunDetectsCycle(t *testing.T) {
+	e := New(2)
+	noop := func(ctx context.Context, w int, s *Store) error { return nil }
+	e.Add(Stage{Name: "a", Needs: []string{"B"}, Provides: []string{"A"}, Run: noop})
+	e.Add(Stage{Name: "b", Needs: []string{"A"}, Provides: []string{"B"}, Run: noop})
+	err := e.Run(context.Background(), NewStore())
+	if err == nil || !strings.Contains(err.Error(), "blocked") {
+		t.Fatalf("err = %v, want blocked-stages error", err)
+	}
+}
+
+func TestRunDetectsDuplicateProvider(t *testing.T) {
+	e := New(1)
+	noop := func(ctx context.Context, w int, s *Store) error { return nil }
+	e.Add(Stage{Name: "a", Provides: []string{"X"}, Run: noop})
+	e.Add(Stage{Name: "b", Provides: []string{"X"}, Run: noop})
+	if err := e.Run(context.Background(), NewStore()); err == nil {
+		t.Fatal("duplicate provider should fail validation")
+	}
+}
+
+func TestRunRepanicsStagePanic(t *testing.T) {
+	e := New(2)
+	e.Add(Stage{Name: "a", Run: func(ctx context.Context, w int, s *Store) error {
+		panic("stage blew up")
+	}})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("expected repanic")
+		}
+	}()
+	_ = e.Run(context.Background(), NewStore())
+}
+
+func TestRunSeededStore(t *testing.T) {
+	e := New(1)
+	e.Add(Stage{Name: "a", Needs: []string{"seed"}, Run: func(ctx context.Context, w int, s *Store) error {
+		v, err := Get[string](s, "seed")
+		if err != nil {
+			return err
+		}
+		if v != "hello" {
+			return fmt.Errorf("seed = %q", v)
+		}
+		return nil
+	}})
+	store := NewStore()
+	store.Put("seed", "hello")
+	if err := e.Run(context.Background(), store); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetTypeMismatch(t *testing.T) {
+	s := NewStore()
+	s.Put("k", 42)
+	if _, err := Get[string](s, "k"); err == nil {
+		t.Error("type mismatch should error")
+	}
+	if _, err := Get[int](s, "absent"); err == nil {
+		t.Error("missing key should error")
+	}
+	if v, err := Get[int](s, "k"); err != nil || v != 42 {
+		t.Errorf("Get = %d, %v", v, err)
+	}
+}

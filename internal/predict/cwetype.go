@@ -25,58 +25,117 @@ type CWECorrection struct {
 	FromOther, FromNoInfo, FromUnassigned, FromTyped int
 }
 
+// CorrectionKind classifies one entry's §4.4 correction by the CWE
+// field's prior state — the paper's breakdown rows.
+type CorrectionKind int
+
+// Correction kinds.
+const (
+	// CorrectionNone means the entry's CWE field was left alone.
+	CorrectionNone CorrectionKind = iota
+	// CorrectionFromOther replaced an NVD-CWE-Other meta label.
+	CorrectionFromOther
+	// CorrectionFromNoInfo replaced an NVD-CWE-noinfo meta label.
+	CorrectionFromNoInfo
+	// CorrectionFromUnassigned typed a previously unassigned entry.
+	CorrectionFromUnassigned
+	// CorrectionFromTyped added labels to an already typed entry.
+	CorrectionFromTyped
+)
+
+// EntryCorrection is the §4.4 outcome for a single entry. It is a pure
+// function of the entry's descriptions and prior CWE field, which is
+// what lets incremental cleaning replay cached outcomes for entries a
+// feed delta did not touch.
+type EntryCorrection struct {
+	// CWEs is the corrected field; meaningful only when Changed.
+	CWEs []cwe.ID
+	// Changed reports whether the field was rewritten.
+	Changed bool
+	// Kind is the breakdown bucket of the correction.
+	Kind CorrectionKind
+}
+
+// CorrectEntryCWEs computes the §4.4 fix for one entry without
+// modifying it: extract CWE IDs embedded in the descriptions, validate
+// them, merge with existing concrete labels, and drop meta labels once
+// a concrete type is known.
+func CorrectEntryCWEs(e *cve.Entry, registry *cwe.Registry) EntryCorrection {
+	extracted := registry.Validate(cwe.Extract(e.AllDescriptionText()))
+	if len(extracted) == 0 {
+		return EntryCorrection{}
+	}
+	// Merge with existing concrete labels; drop meta entries.
+	var merged []cwe.ID
+	seen := make(map[cwe.ID]struct{})
+	hadMeta := false
+	for _, id := range e.CWEs {
+		if id.IsMeta() {
+			hadMeta = true
+			continue
+		}
+		if _, dup := seen[id]; !dup {
+			seen[id] = struct{}{}
+			merged = append(merged, id)
+		}
+	}
+	priorTyped := len(merged) > 0
+	added := false
+	for _, id := range extracted {
+		if _, dup := seen[id]; !dup {
+			seen[id] = struct{}{}
+			merged = append(merged, id)
+			added = true
+		}
+	}
+	if !added && !hadMeta {
+		return EntryCorrection{} // nothing changed
+	}
+	if !added && hadMeta && !priorTyped {
+		return EntryCorrection{} // only meta labels and nothing concrete extracted
+	}
+	kind := CorrectionFromUnassigned
+	switch {
+	case priorTyped:
+		if !added {
+			return EntryCorrection{}
+		}
+		kind = CorrectionFromTyped
+	case hadMeta && containsMeta(e.CWEs, cwe.Other):
+		kind = CorrectionFromOther
+	case hadMeta && containsMeta(e.CWEs, cwe.NoInfo):
+		kind = CorrectionFromNoInfo
+	}
+	return EntryCorrection{CWEs: merged, Changed: true, Kind: kind}
+}
+
+// Record folds one entry's outcome into the summary counters.
+func (c *CWECorrection) Record(ec EntryCorrection) {
+	if !ec.Changed {
+		return
+	}
+	c.Corrected++
+	switch ec.Kind {
+	case CorrectionFromOther:
+		c.FromOther++
+	case CorrectionFromNoInfo:
+		c.FromNoInfo++
+	case CorrectionFromUnassigned:
+		c.FromUnassigned++
+	case CorrectionFromTyped:
+		c.FromTyped++
+	}
+}
+
 // CorrectCWEs rewrites the snapshot's CWE fields in place.
 func CorrectCWEs(snap *cve.Snapshot, registry *cwe.Registry) *CWECorrection {
 	res := &CWECorrection{}
 	for _, e := range snap.Entries {
-		extracted := registry.Validate(cwe.Extract(e.AllDescriptionText()))
-		if len(extracted) == 0 {
-			continue
+		ec := CorrectEntryCWEs(e, registry)
+		if ec.Changed {
+			e.CWEs = ec.CWEs
 		}
-		// Merge with existing concrete labels; drop meta entries.
-		var merged []cwe.ID
-		seen := make(map[cwe.ID]struct{})
-		hadMeta := false
-		for _, id := range e.CWEs {
-			if id.IsMeta() {
-				hadMeta = true
-				continue
-			}
-			if _, dup := seen[id]; !dup {
-				seen[id] = struct{}{}
-				merged = append(merged, id)
-			}
-		}
-		priorTyped := len(merged) > 0
-		added := false
-		for _, id := range extracted {
-			if _, dup := seen[id]; !dup {
-				seen[id] = struct{}{}
-				merged = append(merged, id)
-				added = true
-			}
-		}
-		if !added && !hadMeta {
-			continue // nothing changed
-		}
-		if !added && hadMeta && !priorTyped {
-			continue // only meta labels and nothing concrete extracted
-		}
-		switch {
-		case priorTyped:
-			if !added {
-				continue
-			}
-			res.FromTyped++
-		case hadMeta && containsMeta(e.CWEs, cwe.Other):
-			res.FromOther++
-		case hadMeta && containsMeta(e.CWEs, cwe.NoInfo):
-			res.FromNoInfo++
-		default:
-			res.FromUnassigned++
-		}
-		e.CWEs = merged
-		res.Corrected++
+		res.Record(ec)
 	}
 	return res
 }

@@ -32,6 +32,13 @@ type Importance struct {
 // FeatureImportance computes permutation importance of every feature
 // for the engine's selected model over the dataset's test split.
 func (e *Engine) FeatureImportance(ds *Dataset, seed int64) ([]Importance, error) {
+	return e.FeatureImportanceN(ds, seed, 0)
+}
+
+// FeatureImportanceN is FeatureImportance with a per-call worker
+// budget (zero or negative falls back to the engine's configured
+// workers).
+func (e *Engine) FeatureImportanceN(ds *Dataset, seed int64, workers int) ([]Importance, error) {
 	model, ok := e.models[e.best]
 	if !ok {
 		return nil, errors.New("predict: engine has no trained model")
@@ -39,7 +46,9 @@ func (e *Engine) FeatureImportance(ds *Dataset, seed int64) ([]Importance, error
 	if len(ds.Test) == 0 {
 		return nil, errors.New("predict: empty test split")
 	}
-	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = e.cfg.Workers
+	}
 	baseline, err := bandAccuracy(model, ds.Test, -1, nil, workers)
 	if err != nil {
 		return nil, err

@@ -1,8 +1,12 @@
 package predict
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -111,6 +115,35 @@ func firstConcrete(ids []cwe.ID) cwe.ID {
 		}
 	}
 	return cwe.Unassigned
+}
+
+// DatasetFingerprint hashes everything BuildDataset consumes from a
+// snapshot: the ordered sequence of dual-labeled entries with the
+// exact fields that become features, classes and targets, plus the
+// split seed. Two snapshots with equal fingerprints yield bit-identical
+// datasets, so a trained engine carries over — the warm-start check of
+// incremental cleaning. A feed delta that only touches v2-only CVEs
+// (the common case: backporting exists because new entries lack v3)
+// leaves the fingerprint unchanged.
+func DatasetFingerprint(snap *cve.Snapshot, seed int64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	for _, e := range snap.Entries {
+		if e.V2 == nil || e.V3 == nil {
+			continue
+		}
+		io.WriteString(h, e.ID)
+		h.Write([]byte{0})
+		io.WriteString(h, e.V2.String())
+		h.Write([]byte{0})
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(firstConcrete(e.CWEs))))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(e.V3.BaseScore()))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
 }
 
 // Evaluation holds the Table 5 and Table 7 metrics for one model.
@@ -314,6 +347,19 @@ func (b *Backport) Severity(id string) (cvss.Severity, bool) {
 // §4.3 bulk path (the paper's 74K v2-only CVEs) — scoring entries in
 // parallel with the engine's configured workers.
 func (e *Engine) BackportAll(snap *cve.Snapshot) (*Backport, error) {
+	return e.BackportAllN(snap, 0)
+}
+
+// BackportAllN is BackportAll with a per-call worker budget (zero or
+// negative falls back to the engine's configured workers). Callers
+// that fan several engine batch calls out concurrently — the
+// experiments suite — pass their budget share here so the aggregate
+// parallelism stays bounded. Predicted scores are identical at any
+// setting.
+func (e *Engine) BackportAllN(snap *cve.Snapshot, workers int) (*Backport, error) {
+	if workers <= 0 {
+		workers = e.cfg.Workers
+	}
 	var pending []*cve.Entry
 	for _, entry := range snap.Entries {
 		if entry.V2 != nil && entry.V3 == nil {
@@ -321,14 +367,14 @@ func (e *Engine) BackportAll(snap *cve.Snapshot) (*Backport, error) {
 		}
 	}
 	rows := make([][]float64, len(pending))
-	parallel.For(e.cfg.Workers, len(pending), func(i int) {
+	parallel.For(workers, len(pending), func(i int) {
 		rows[i] = e.enc.Features(*pending[i].V2, firstConcrete(pending[i].CWEs))
 	})
 	model, ok := e.models[e.best]
 	if !ok {
 		return nil, errors.New("predict: engine has no trained model")
 	}
-	preds, err := predictAll(model, rows, e.cfg.Workers)
+	preds, err := predictAll(model, rows, workers)
 	if err != nil {
 		return nil, fmt.Errorf("predict: backporting: %w", err)
 	}
@@ -412,12 +458,21 @@ func PredictedTransitions(snap *cve.Snapshot, b *Backport) [][2]cvss.Severity {
 // and Table 15 (model predictions on the test split), scoring the
 // split in parallel with the engine's configured workers.
 func (e *Engine) TestTransitions(ds *Dataset) (truth, predicted [][2]cvss.Severity, err error) {
+	return e.TestTransitionsN(ds, 0)
+}
+
+// TestTransitionsN is TestTransitions with a per-call worker budget
+// (zero or negative falls back to the engine's configured workers).
+func (e *Engine) TestTransitionsN(ds *Dataset, workers int) (truth, predicted [][2]cvss.Severity, err error) {
+	if workers <= 0 {
+		workers = e.cfg.Workers
+	}
 	m := e.models[e.best]
 	rows := make([][]float64, len(ds.Test))
 	for i, s := range ds.Test {
 		rows[i] = s.Features
 	}
-	preds, err := predictAll(m, rows, e.cfg.Workers)
+	preds, err := predictAll(m, rows, workers)
 	if err != nil {
 		return nil, nil, err
 	}

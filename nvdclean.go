@@ -22,17 +22,14 @@ package nvdclean
 
 import (
 	"context"
-	"fmt"
 	"io"
 	"net/http"
 	"time"
 
 	"nvdclean/internal/crawler"
 	"nvdclean/internal/cve"
-	"nvdclean/internal/cwe"
 	"nvdclean/internal/gen"
 	"nvdclean/internal/naming"
-	"nvdclean/internal/parallel"
 	"nvdclean/internal/predict"
 	"nvdclean/internal/webcorpus"
 )
@@ -144,112 +141,23 @@ type Result struct {
 
 	// CWECorrection summarizes the §4.4 regex fix.
 	CWECorrection *predict.CWECorrection
+
+	// inc carries the per-entry artifacts and warm caches CleanDelta
+	// needs to reprocess only a feed delta.
+	inc *incState
 }
 
 // Clean runs the full pipeline on snap, returning the rectified
 // snapshot and all intermediate artifacts. snap itself is not modified.
 //
-// Independent stages overlap: the §4.1 reference crawl reads only the
-// original snapshot while the §4.2 naming consolidation and §4.4 CWE
-// correction rewrite the clone, so the two run concurrently and join
-// before the §4.3 severity step (which needs the corrected clone).
-// Every stage bounds its own parallelism by opts.Concurrency.
+// Internally Clean is a staged DAG over internal/pipeline: the §4.1
+// reference crawl reads only the original snapshot while the §4.2
+// naming consolidation and §4.4 CWE correction rewrite disjoint fields
+// of the clone, so all three overlap and join before the §4.3 severity
+// step (which needs the corrected clone). The scheduler splits
+// opts.Concurrency across the stages in flight, and every stage
+// observes ctx. The returned Result also carries the state CleanDelta
+// needs to reprocess a feed delta incrementally.
 func Clean(ctx context.Context, snap *Snapshot, opts Options) (*Result, error) {
-	if snap == nil || snap.Len() == 0 {
-		return nil, fmt.Errorf("nvdclean: empty snapshot")
-	}
-	workers := parallel.Workers(opts.Concurrency)
-	res := &Result{
-		Original:            snap,
-		Cleaned:             snap.Clone(),
-		EstimatedDisclosure: make(map[string]time.Time),
-		LagDays:             make(map[string]int),
-		VendorChanged:       make(map[string]bool),
-		ProductChanged:      make(map[string]bool),
-	}
-
-	var g parallel.Group
-
-	// §4.1: disclosure dates via reference crawling. Reads only the
-	// untouched original snapshot.
-	if opts.Transport != nil {
-		g.Go(func() error {
-			c, err := crawler.New(crawler.Config{
-				Transport:   opts.Transport,
-				TopK:        opts.TopKDomains,
-				Concurrency: workers,
-			})
-			if err != nil {
-				return fmt.Errorf("nvdclean: building crawler: %w", err)
-			}
-			results, stats, err := c.EstimateAll(ctx, snap)
-			if err != nil {
-				return fmt.Errorf("nvdclean: crawling references: %w", err)
-			}
-			res.CrawlStats = stats
-			for _, r := range results {
-				res.EstimatedDisclosure[r.ID] = r.Estimated
-				res.LagDays[r.ID] = r.LagDays
-			}
-			return nil
-		})
-	}
-
-	// §4.2 + §4.4: name consolidation and CWE field correction, which
-	// rewrite only the cloned snapshot.
-	g.Go(func() error {
-		// Vendor first, then products under the consolidated vendors,
-		// as the paper does.
-		va := naming.AnalyzeVendorsN(res.Cleaned, workers)
-		res.VendorMap = va.Consolidate(naming.HeuristicJudge{})
-		for _, e := range res.Cleaned.Entries {
-			for _, n := range e.CPEs {
-				if res.VendorMap.Mapped(n.Vendor) {
-					res.VendorChanged[e.ID] = true
-				}
-			}
-		}
-		res.VendorMap.Apply(res.Cleaned)
-
-		pa := naming.AnalyzeProductsN(res.Cleaned, workers)
-		res.ProductMap = pa.Consolidate(naming.HeuristicProductJudge{})
-		for _, e := range res.Cleaned.Entries {
-			for _, n := range e.CPEs {
-				if res.ProductMap.Canonical(n.Vendor, n.Product) != n.Product {
-					res.ProductChanged[e.ID] = true
-				}
-			}
-		}
-		res.ProductMap.Apply(res.Cleaned)
-
-		// CWE correction runs before severity so corrected types feed
-		// the predictor's CWE feature.
-		res.CWECorrection = predict.CorrectCWEs(res.Cleaned, cwe.NewRegistry())
-		return nil
-	})
-
-	if err := g.Wait(); err != nil {
-		return nil, err
-	}
-
-	// §4.3: CVSS v3 severity backporting (needs the corrected clone).
-	if !opts.SkipSeverity {
-		ds, err := predict.BuildDataset(res.Cleaned, opts.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("nvdclean: building severity dataset: %w", err)
-		}
-		mc := opts.ModelConfig
-		if mc.Workers == 0 {
-			mc.Workers = workers
-		}
-		res.Engine, err = predict.Train(ds, opts.Models, mc)
-		if err != nil {
-			return nil, fmt.Errorf("nvdclean: training severity models: %w", err)
-		}
-		res.Backport, err = res.Engine.BackportAll(res.Cleaned)
-		if err != nil {
-			return nil, fmt.Errorf("nvdclean: backporting v3 scores: %w", err)
-		}
-	}
-	return res, nil
+	return runClean(ctx, snap, opts, nil)
 }

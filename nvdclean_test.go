@@ -3,7 +3,9 @@ package nvdclean
 import (
 	"bytes"
 	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"nvdclean/internal/cwe"
 	"nvdclean/internal/predict"
@@ -128,6 +130,31 @@ func TestCleanWithoutTransport(t *testing.T) {
 	if res.VendorMap.Len() == 0 {
 		t.Error("naming step should still run")
 	}
+}
+
+func TestCleanContextCancellation(t *testing.T) {
+	snap, truth, err := GenerateSnapshot(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("pre-canceled without transport", func(t *testing.T) {
+		// No crawl stage at all: cancellation must be observed by the
+		// naming+CWE stages, which historically ignored ctx.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := Clean(ctx, snap, Options{SkipSeverity: true})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	})
+	t.Run("expired deadline with transport", func(t *testing.T) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		_, err := Clean(ctx, snap, fastOpts(true, snap, truth))
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+	})
 }
 
 func TestCleanEmptySnapshot(t *testing.T) {
