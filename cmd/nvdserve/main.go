@@ -14,11 +14,19 @@
 // atomically — reloads cause zero downtime and, when the update leaves
 // the training split untouched, reuse the trained model zoo.
 //
+// With -data-dir the daemon keeps a persistent generation store: every
+// ingested delta is logged durably before it serves, and checkpoints
+// fold the log back down (-compact-every). A restart with the same
+// -data-dir restores the last committed generation from checkpoint
+// plus log in ~O(delta) — no crawling, no training, no re-clean — and
+// the store becomes authoritative over the -feed/-demo input.
+//
 // Usage:
 //
 //	nvdserve -demo small                 # synthetic snapshot + simulated web
 //	nvdserve -feed nvdcve-1.1-2017.json  # real data feed, no crawling
 //	nvdserve -feed feed.json -crawl     # also crawl reference URLs
+//	nvdserve -demo tiny -data-dir ./nvd  # durable generations, warm restarts
 package main
 
 import (
@@ -33,30 +41,34 @@ import (
 	"time"
 
 	"nvdclean"
+	"nvdclean/internal/cve"
 	"nvdclean/internal/predict"
+	"nvdclean/internal/store"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:8417", "listen address (use :0 for an ephemeral port)")
-		feedPath    = flag.String("feed", "", "NVD JSON 1.1 feed file to serve (empty: synthetic demo snapshot)")
-		demoScale   = flag.String("demo", "tiny", "demo snapshot scale: tiny, small or paper")
-		crawl       = flag.Bool("crawl", false, "crawl reference URLs of real feeds over the live web")
-		concurrency = flag.Int("concurrency", 0, "worker bound for every pipeline stage (0: GOMAXPROCS)")
-		models      = flag.String("models", "LR", "severity models to train: comma-separated LR,SVR,CNN,DNN or all")
-		epochs      = flag.Int("epochs", 0, "training epochs for the deep models (0: paper's 100)")
-		compact     = flag.Bool("compact", true, "use compact deep models (paper-width models are expensive)")
-		seed        = flag.Int64("seed", 1, "dataset split and weight-init seed")
+		addr         = flag.String("addr", "127.0.0.1:8417", "listen address (use :0 for an ephemeral port)")
+		feedPath     = flag.String("feed", "", "NVD JSON 1.1 feed file to serve (empty: synthetic demo snapshot)")
+		demoScale    = flag.String("demo", "tiny", "demo snapshot scale: tiny, small or paper")
+		crawl        = flag.Bool("crawl", false, "crawl reference URLs of real feeds over the live web")
+		concurrency  = flag.Int("concurrency", 0, "worker bound for every pipeline stage (0: GOMAXPROCS)")
+		models       = flag.String("models", "LR", "severity models to train: comma-separated LR,SVR,CNN,DNN or all")
+		epochs       = flag.Int("epochs", 0, "training epochs for the deep models (0: paper's 100)")
+		compact      = flag.Bool("compact", true, "use compact deep models (paper-width models are expensive)")
+		seed         = flag.Int64("seed", 1, "dataset split and weight-init seed")
+		dataDir      = flag.String("data-dir", "", "persistent generation store directory (empty: in-memory only)")
+		compactEvery = flag.Int("compact-every", 8, "fold the delta log into a fresh checkpoint after this many records (0: never)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *feedPath, *demoScale, *crawl, *concurrency, *models, *epochs, *compact, *seed); err != nil {
+	if err := run(*addr, *feedPath, *demoScale, *crawl, *concurrency, *models, *epochs, *compact, *seed, *dataDir, *compactEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "nvdserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, feedPath, demoScale string, crawl bool, concurrency int, models string, epochs int, compact bool, seed int64) error {
+func run(addr, feedPath, demoScale string, crawl bool, concurrency int, models string, epochs int, compact bool, seed int64, dataDir string, compactEvery int) error {
 	kinds, err := parseModels(models)
 	if err != nil {
 		return err
@@ -68,21 +80,51 @@ func run(addr, feedPath, demoScale string, crawl bool, concurrency int, models s
 		Seed:        seed,
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// With a data directory, recover the generation store first: a
+	// committed checkpoint plus its delta log restores the serving
+	// generation in ~O(delta) — no crawling, no training, no re-clean
+	// — and makes the store authoritative over the -feed/-demo input.
+	var persist *store.Store
+	var cp *store.Checkpoint
+	var logged []*cve.Delta
+	if dataDir != "" {
+		var notes []string
+		var err error
+		persist, cp, logged, notes, err = store.Open(dataDir)
+		if err != nil {
+			return fmt.Errorf("opening store %s: %w", dataDir, err)
+		}
+		defer persist.Close()
+		for _, n := range notes {
+			fmt.Printf("nvdserve: store recovery: %s\n", n)
+		}
+	}
+
 	var snap *nvdclean.Snapshot
 	if feedPath != "" {
-		f, err := os.Open(feedPath)
-		if err != nil {
-			return err
-		}
-		snap, err = nvdclean.LoadFeed(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
 		if crawl {
 			opts.Transport = http.DefaultTransport
 		}
+		// On a warm restart the feed file is never cleaned (the store
+		// is authoritative), so don't pay to load it.
+		if cp == nil {
+			f, err := os.Open(feedPath)
+			if err != nil {
+				return err
+			}
+			snap, err = nvdclean.LoadFeed(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		}
 	} else {
+		// Demo mode always regenerates: the simulated-web transport
+		// derives from the (deterministic) snapshot and is needed for
+		// future POST /feed deltas even when the store restores.
 		var cfg nvdclean.GenConfig
 		switch demoScale {
 		case "tiny":
@@ -105,16 +147,45 @@ func run(addr, feedPath, demoScale string, crawl bool, concurrency int, models s
 		fmt.Printf("nvdserve: generated %s demo snapshot (%d CVEs)\n", demoScale, snap.Len())
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	srv := newServer(opts)
-	fmt.Printf("nvdserve: cleaning %d entries...\n", snap.Len())
-	if err := srv.load(ctx, snap); err != nil {
-		return err
+	srv.persist = persist
+	srv.compactEvery = compactEvery
+
+	if cp != nil {
+		start := time.Now()
+		res, err := nvdclean.RestoreResult(cp, opts)
+		if err != nil {
+			return fmt.Errorf("restoring checkpoint: %w", err)
+		}
+		// Fold the logged deltas into one and re-clean just that.
+		merged := res.Original
+		for _, d := range logged {
+			merged = merged.ApplyDelta(d)
+		}
+		if total := nvdclean.Diff(res.Original, merged); !total.Empty() {
+			if res, err = nvdclean.CleanDelta(ctx, res, total, opts); err != nil {
+				return fmt.Errorf("replaying delta log: %w", err)
+			}
+		}
+		st := srv.newState(res, nil, time.Since(start), 1, len(logged) > 0, true)
+		st.restored = true
+		srv.cur.Store(st)
+		fmt.Printf("nvdserve: warm start: restored store generation %d (%d entries, %d logged deltas) in %dms — no re-clean\n",
+			srv.persist.Generation(), res.Cleaned.Len(), len(logged), st.cleanDur.Milliseconds())
+		if feedPath != "" || snap != nil {
+			fmt.Println("nvdserve: store is authoritative; POST /feed to ingest feed updates")
+		}
+	} else {
+		fmt.Printf("nvdserve: cleaning %d entries...\n", snap.Len())
+		if err := srv.load(ctx, snap); err != nil {
+			return err
+		}
+		st := srv.cur.Load()
+		fmt.Printf("nvdserve: pipeline done in %dms\n", st.cleanDur.Milliseconds())
+		if srv.persist != nil {
+			fmt.Printf("nvdserve: committed checkpoint generation %d to %s\n", srv.persist.Generation(), dataDir)
+		}
 	}
-	st := srv.cur.Load()
-	fmt.Printf("nvdserve: pipeline done in %dms\n", st.cleanDur.Milliseconds())
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -108,6 +109,42 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if code := getJSON(t, ts, "/query?severity=bogus", &q); code != http.StatusBadRequest {
 		t.Errorf("bogus severity = %d, want 400", code)
+	}
+
+	// Unknown parameters are rejected, not silently ignored.
+	var bad map[string]any
+	if code := getJSON(t, ts, "/query?vendors="+vendor, &bad); code != http.StatusBadRequest {
+		t.Errorf("unknown parameter = %d, want 400", code)
+	}
+	if code := getJSON(t, ts, "/query?offset=-1", &bad); code != http.StatusBadRequest {
+		t.Errorf("negative offset = %d, want 400", code)
+	}
+
+	// limit/offset paginate one stable ordering: page 2 picks up
+	// exactly where page 1 ended.
+	var page1, page2, both struct {
+		Total   int `json:"total"`
+		Offset  int `json:"offset"`
+		Results []struct {
+			ID string `json:"id"`
+		} `json:"results"`
+	}
+	if code := getJSON(t, ts, "/query?limit=4", &both); code != http.StatusOK {
+		t.Fatalf("/query limit=4 = %d", code)
+	}
+	if code := getJSON(t, ts, "/query?limit=2", &page1); code != http.StatusOK {
+		t.Fatalf("/query page1 = %d", code)
+	}
+	if code := getJSON(t, ts, "/query?limit=2&offset=2", &page2); code != http.StatusOK {
+		t.Fatalf("/query page2 = %d", code)
+	}
+	if page2.Offset != 2 || page1.Total != both.Total || page2.Total != both.Total {
+		t.Errorf("pagination metadata: %+v %+v %+v", page1, page2, both)
+	}
+	for i, r := range append(page1.Results, page2.Results...) {
+		if i >= len(both.Results) || both.Results[i].ID != r.ID {
+			t.Fatalf("paginated pages do not tile the unpaginated ordering")
+		}
 	}
 
 	var stats map[string]any
@@ -225,62 +262,122 @@ func TestParseModels(t *testing.T) {
 	}
 }
 
-// TestNvdserveSmoke is the CI smoke test: build the real binary, start
-// the daemon on an ephemeral port, and query it over actual HTTP.
-func TestNvdserveSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("exec smoke test skipped in -short")
-	}
+// buildNvdserve compiles the daemon binary once per test.
+func buildNvdserve(t *testing.T) string {
+	t.Helper()
 	bin := filepath.Join(t.TempDir(), "nvdserve")
 	build := exec.Command("go", "build", "-o", bin, ".")
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("building nvdserve: %v\n%s", err, out)
 	}
+	return bin
+}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-	defer cancel()
-	cmd := exec.CommandContext(ctx, bin, "-addr", "127.0.0.1:0", "-demo", "tiny")
+// daemon is one running nvdserve process under test.
+type daemon struct {
+	cmd     *exec.Cmd
+	base    string
+	scanner *bufio.Scanner
+	output  []string
+}
+
+// startDaemon launches the binary and waits for its listen line. The
+// daemon is terminated (SIGINT, then kill via context) at test end.
+func startDaemon(t *testing.T, ctx context.Context, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.CommandContext(ctx, bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
 	}
+	cmd.Stderr = cmd.Stdout
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		cancel()
-		_ = cmd.Wait()
-	}()
-
+	d := &daemon{cmd: cmd, scanner: bufio.NewScanner(stdout)}
+	t.Cleanup(func() { _ = cmd.Process.Kill(); _, _ = cmd.Process.Wait() })
 	// The daemon prints its bound address once listening.
-	var base string
-	scanner := bufio.NewScanner(stdout)
-	for scanner.Scan() {
-		line := scanner.Text()
+	for d.scanner.Scan() {
+		line := d.scanner.Text()
 		t.Log(line)
+		d.output = append(d.output, line)
 		if rest, ok := strings.CutPrefix(line, "nvdserve: listening on "); ok {
-			base = rest
+			d.base = rest
 			break
 		}
 	}
-	if base == "" {
-		t.Fatalf("daemon never reported a listen address: %v", scanner.Err())
+	if d.base == "" {
+		t.Fatalf("daemon never reported a listen address: %v", d.scanner.Err())
 	}
+	return d
+}
 
-	get := func(path string, out any) int {
-		resp, err := http.Get(base + path)
-		if err != nil {
-			t.Fatalf("GET %s: %v", path, err)
-		}
-		defer resp.Body.Close()
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatalf("GET %s: %v", path, err)
-		}
-		return resp.StatusCode
+func (d *daemon) get(t *testing.T, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
 	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return resp.StatusCode
+}
+
+// shutdown delivers SIGINT and asserts the daemon drains and exits
+// cleanly, printing its shutdown line. The pipe is drained to EOF
+// before Wait — Wait closes the pipe, so calling it while the scanner
+// still reads would race away buffered output.
+func (d *daemon) shutdown(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for d.scanner.Scan() {
+			line := d.scanner.Text()
+			t.Log(line)
+			d.output = append(d.output, line)
+		}
+	}()
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit within 30s of SIGINT")
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly after SIGINT: %v", err)
+	}
+	if !d.sawLine("nvdserve: shutting down") {
+		t.Error("daemon never logged its graceful shutdown")
+	}
+}
+
+func (d *daemon) sawLine(prefix string) bool {
+	for _, line := range d.output {
+		if strings.HasPrefix(line, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestNvdserveSmoke is the CI smoke test: build the real binary, start
+// the daemon on an ephemeral port, query it over actual HTTP, and shut
+// it down gracefully with SIGINT.
+func TestNvdserveSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec smoke test skipped in -short")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	d := startDaemon(t, ctx, buildNvdserve(t), "-demo", "tiny")
 
 	var health map[string]any
-	if code := get("/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+	if code := d.get(t, "/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
 		t.Fatalf("/healthz = %d %v", code, health)
 	}
 	// Discover a real CVE ID through /query, then fetch it.
@@ -289,14 +386,80 @@ func TestNvdserveSmoke(t *testing.T) {
 			ID string `json:"id"`
 		} `json:"results"`
 	}
-	if code := get("/query?limit=1", &q); code != http.StatusOK || len(q.Results) == 0 {
+	if code := d.get(t, "/query?limit=1", &q); code != http.StatusOK || len(q.Results) == 0 {
 		t.Fatalf("/query = %d %+v", code, q)
 	}
 	var view map[string]any
-	if code := get(fmt.Sprintf("/cve/%s", q.Results[0].ID), &view); code != http.StatusOK {
+	if code := d.get(t, fmt.Sprintf("/cve/%s", q.Results[0].ID), &view); code != http.StatusOK {
 		t.Fatalf("/cve/%s = %d", q.Results[0].ID, code)
 	}
 	if view["id"] != q.Results[0].ID {
 		t.Fatalf("served %v, want %s", view["id"], q.Results[0].ID)
 	}
+	// Graceful shutdown: in-flight requests drain, the process exits 0.
+	d.shutdown(t)
+}
+
+// TestNvdserveWarmRestartSmoke is the CI warm-restart step: run the
+// daemon with -data-dir, ingest a delta, SIGINT it, start it again on
+// the same directory, and assert the second boot restores the store
+// generation — posted entry included — without a full re-clean.
+func TestNvdserveWarmRestartSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec smoke test skipped in -short")
+	}
+	bin := buildNvdserve(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	// First boot: cold clean + checkpoint commit.
+	d1 := startDaemon(t, ctx, bin, "-demo", "tiny", "-data-dir", dataDir)
+	if !d1.sawLine("nvdserve: committed checkpoint generation 1") {
+		t.Error("first boot did not commit a checkpoint")
+	}
+	// POST the canonical update (the daemon's tiny demo snapshot is
+	// deterministic, so we can regenerate it here to build the body).
+	snap, _, err := nvdclean.GenerateSnapshot(gen.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if err := nvdclean.WriteFeed(&body, feedUpdate(t, snap)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d1.base+"/feed", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summary map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&summary); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || int(summary["added"].(float64)) != 1 {
+		t.Fatalf("POST /feed = %d %v", resp.StatusCode, summary)
+	}
+	d1.shutdown(t)
+
+	// Second boot, same directory: restore, don't re-clean.
+	d2 := startDaemon(t, ctx, bin, "-demo", "tiny", "-data-dir", dataDir)
+	if !d2.sawLine("nvdserve: warm start: restored store generation 1") {
+		t.Fatalf("second boot did not warm-start from the store: %v", d2.output)
+	}
+	if d2.sawLine("nvdserve: cleaning") {
+		t.Fatal("second boot ran a full re-clean despite the store")
+	}
+	var view map[string]any
+	if code := d2.get(t, "/cve/CVE-2018-9999", &view); code != http.StatusOK {
+		t.Fatalf("restored daemon does not serve the logged delta: %d", code)
+	}
+	if view["backported"] != true {
+		t.Errorf("restored entry lost its backported score: %v", view)
+	}
+	var stats map[string]any
+	if code := d2.get(t, "/stats", &stats); code != http.StatusOK || stats["warmRestart"] != true {
+		t.Fatalf("/stats = %d warmRestart=%v", code, stats["warmRestart"])
+	}
+	d2.shutdown(t)
 }

@@ -1,0 +1,349 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nvdclean"
+	"nvdclean/internal/cvss"
+	"nvdclean/internal/cwe"
+	"nvdclean/internal/gen"
+	"nvdclean/internal/predict"
+	"nvdclean/internal/store"
+)
+
+// paramGrid builds a representative /query parameter grid from the
+// served snapshot itself, so vendor/product/cwe values actually occur.
+func paramGrid(st *serveState) []queryParams {
+	var ps []queryParams
+	e := st.res.Cleaned.Entries[0]
+	vendor := e.CPEs[0].Vendor
+	product := e.CPEs[0].Product
+	var cweID cwe.ID
+	for _, entry := range st.res.Cleaned.Entries {
+		for _, c := range entry.CWEs {
+			if !c.IsMeta() {
+				cweID = c
+				break
+			}
+		}
+		if cweID != 0 {
+			break
+		}
+	}
+	year := e.Year()
+	for _, limit := range []int{1, 5, 50} {
+		for _, offset := range []int{0, 3, 100000} {
+			ps = append(ps,
+				queryParams{limit: limit, offset: offset},
+				queryParams{vendor: vendor, limit: limit, offset: offset},
+				queryParams{product: product, limit: limit, offset: offset},
+				queryParams{vendor: vendor, product: product, limit: limit, offset: offset},
+				queryParams{vendor: "no-such-vendor", limit: limit, offset: offset},
+				queryParams{sev: cvss.SeverityHigh, hasSev: true, limit: limit, offset: offset},
+				queryParams{sev: cvss.SeverityCritical, hasSev: true, year: year, limit: limit, offset: offset},
+				queryParams{cweID: cweID, hasCWE: true, limit: limit, offset: offset},
+				queryParams{cweID: cweID, hasCWE: true, vendor: vendor, sev: cvss.SeverityMedium, hasSev: true, limit: limit, offset: offset},
+				queryParams{year: year, limit: limit, offset: offset},
+				queryParams{year: 1901, limit: limit, offset: offset},
+			)
+		}
+	}
+	return ps
+}
+
+func marshalResponse(t *testing.T, resp queryResponse) []byte {
+	t.Helper()
+	b, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestQueryIndexEquivalence is the index invariant: for every filter
+// combination, index-intersection answers are byte-identical to the
+// reference linear scan, and to themselves under an index built at any
+// worker count.
+func TestQueryIndexEquivalence(t *testing.T) {
+	srv, _ := demoServer(t)
+	st := srv.cur.Load()
+	reindexed := *st
+	reindexed.idx = store.BuildIndex(st.res.Cleaned, 1)
+	for _, p := range paramGrid(st) {
+		indexed := marshalResponse(t, st.queryIndexed(p))
+		scanned := marshalResponse(t, st.queryScan(p))
+		if !bytes.Equal(indexed, scanned) {
+			t.Fatalf("query %+v: indexed %s != scanned %s", p, indexed, scanned)
+		}
+		single := marshalResponse(t, reindexed.queryIndexed(p))
+		if !bytes.Equal(indexed, single) {
+			t.Fatalf("query %+v: index differs across build concurrency", p)
+		}
+	}
+}
+
+// postFeed writes update as an NVD feed body and POSTs it.
+func postFeed(t *testing.T, ts *httptest.Server, update *nvdclean.Snapshot) map[string]any {
+	t.Helper()
+	var body bytes.Buffer
+	if err := nvdclean.WriteFeed(&body, update); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/feed", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	summary := map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&summary); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /feed = %d: %v", resp.StatusCode, summary)
+	}
+	return summary
+}
+
+// feedUpdate builds the canonical test delta: one added v2-only CVE
+// cloned from an existing entry plus one modified description.
+func feedUpdate(t *testing.T, snap *nvdclean.Snapshot) *nvdclean.Snapshot {
+	t.Helper()
+	var v2only *nvdclean.Entry
+	for _, e := range snap.Entries {
+		if e.V2 != nil && e.V3 == nil {
+			v2only = e
+			break
+		}
+	}
+	if v2only == nil {
+		t.Fatal("no v2-only entry in snapshot")
+	}
+	added := v2only.Clone()
+	added.ID = "CVE-2018-9999"
+	modified := v2only.Clone()
+	modified.Descriptions[0].Value += " Exploited in the wild."
+	return &nvdclean.Snapshot{
+		CapturedAt: snap.CapturedAt.Add(24 * time.Hour),
+		Entries:    []*nvdclean.Entry{added, modified},
+	}
+}
+
+// TestWarmRestartEquivalence is the persistence acceptance test: a
+// server restored from -data-dir state (checkpoint + delta log, no
+// pipeline run, different concurrency) must serve a view bit-identical
+// to a cold full Clean of the merged feed.
+func TestWarmRestartEquivalence(t *testing.T) {
+	snap, truth, err := nvdclean.GenerateSnapshot(gen.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	transport := nvdclean.NewWebCorpus(snap, truth.Disclosure).Transport()
+	opts := nvdclean.Options{
+		Transport:   transport,
+		Concurrency: 8,
+		Models:      []predict.ModelKind{predict.ModelLR},
+		ModelConfig: predict.ModelConfig{Seed: 1},
+		Seed:        1,
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	// Cold server with persistence: full clean, checkpoint commit, one
+	// POSTed delta appended to the log.
+	str1, cp0, _, _, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp0 != nil {
+		t.Fatal("fresh directory has a checkpoint")
+	}
+	srv1 := newServer(opts)
+	srv1.persist = str1
+	srv1.compactEvery = 1000 // keep the delta in the log, not a checkpoint
+	if err := srv1.load(ctx, snap); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv1.handler())
+	postFeed(t, ts, feedUpdate(t, snap))
+	ts.Close()
+	merged := srv1.cur.Load().res.Original
+	if err := str1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm restart: restore checkpoint, replay the log — no Clean.
+	str2, cp, logged, notes, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer str2.Close()
+	if cp == nil || len(logged) != 1 {
+		t.Fatalf("reopen: checkpoint=%v deltas=%d notes=%v", cp != nil, len(logged), notes)
+	}
+	warmOpts := opts
+	warmOpts.Concurrency = 3 // concurrency is a wall-clock knob, never bits
+	res, err := nvdclean.RestoreResult(cp, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := res.Original
+	for _, d := range logged {
+		cur = cur.ApplyDelta(d)
+	}
+	if total := nvdclean.Diff(res.Original, cur); !total.Empty() {
+		if res, err = nvdclean.CleanDelta(ctx, res, total, warmOpts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res.Engine == nil || res.Engine != cp.Engine {
+		t.Error("warm restart should reuse the restored engine (v2-only delta)")
+	}
+	srvWarm := newServer(warmOpts)
+	srvWarm.cur.Store(srvWarm.newState(res, nil, 0, 1, true, true))
+
+	// Cold reference: full Clean of the merged feed, in-memory.
+	coldOpts := opts
+	coldOpts.Concurrency = 2
+	srvCold := newServer(coldOpts)
+	if err := srvCold.load(ctx, merged); err != nil {
+		t.Fatal(err)
+	}
+
+	stWarm := srvWarm.cur.Load()
+	stCold := srvCold.cur.Load()
+	if stWarm.res.Cleaned.Len() != stCold.res.Cleaned.Len() {
+		t.Fatalf("entry counts differ: %d vs %d", stWarm.res.Cleaned.Len(), stCold.res.Cleaned.Len())
+	}
+
+	// Every served CVE view must be bit-identical.
+	for _, e := range stCold.res.Cleaned.Entries {
+		we, ok := stWarm.byID[e.ID]
+		if !ok {
+			t.Fatalf("warm view lacks %s", e.ID)
+		}
+		cold, err := json.Marshal(stCold.view(e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := json.Marshal(stWarm.view(we))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cold, warm) {
+			t.Fatalf("view of %s differs:\ncold: %s\nwarm: %s", e.ID, cold, warm)
+		}
+	}
+
+	// Every query answer must be bit-identical — across restart AND
+	// across the warm server's indexed vs scan paths.
+	for _, p := range paramGrid(stCold) {
+		cold := marshalResponse(t, stCold.queryIndexed(p))
+		warm := marshalResponse(t, stWarm.queryIndexed(p))
+		if !bytes.Equal(cold, warm) {
+			t.Fatalf("query %+v differs across restart:\ncold: %s\nwarm: %s", p, cold, warm)
+		}
+		if scan := marshalResponse(t, stWarm.queryScan(p)); !bytes.Equal(warm, scan) {
+			t.Fatalf("query %+v: warm index differs from scan", p)
+		}
+	}
+
+	// The deterministic /stats content must agree too.
+	coldStats, warmStats := statsView(t, srvCold), statsView(t, srvWarm)
+	for _, k := range []string{"entries", "distinctVendors", "distinctProducts", "naming", "cweCorrection", "crawl", "engine"} {
+		c, _ := json.Marshal(coldStats[k])
+		w, _ := json.Marshal(warmStats[k])
+		if !bytes.Equal(c, w) {
+			t.Errorf("stats[%s] differs: cold %s warm %s", k, c, w)
+		}
+	}
+}
+
+func statsView(t *testing.T, srv *server) map[string]any {
+	t.Helper()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	var stats map[string]any
+	if code := getJSON(t, ts, "/stats", &stats); code != 200 {
+		t.Fatalf("/stats = %d", code)
+	}
+	return stats
+}
+
+// TestFeedPersistsAndCompacts drives POST /feed with a store attached
+// past the compaction threshold and proves the log folds into a new
+// checkpoint that restores cleanly.
+func TestFeedPersistsAndCompacts(t *testing.T) {
+	snap, truth, err := nvdclean.GenerateSnapshot(gen.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := nvdclean.Options{
+		Transport:   nvdclean.NewWebCorpus(snap, truth.Disclosure).Transport(),
+		Concurrency: 4,
+		Models:      []predict.ModelKind{predict.ModelLR},
+		ModelConfig: predict.ModelConfig{Seed: 1},
+		Seed:        1,
+	}
+	dir := t.TempDir()
+	str, _, _, _, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(opts)
+	srv.persist = str
+	srv.compactEvery = 2
+	if err := srv.load(context.Background(), snap); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	base := feedUpdate(t, snap)
+	sum1 := postFeed(t, ts, base)
+	if sum1["compacted"] == true {
+		t.Fatal("compacted after one delta with compactEvery=2")
+	}
+	if str.LogRecords() != 1 {
+		t.Fatalf("log records = %d, want 1", str.LogRecords())
+	}
+	second := &nvdclean.Snapshot{CapturedAt: base.CapturedAt.Add(time.Hour)}
+	again := base.Entries[0].Clone()
+	again.Descriptions[0].Value += " Patched."
+	second.Entries = []*nvdclean.Entry{again}
+	sum2 := postFeed(t, ts, second)
+	if sum2["compacted"] != true {
+		t.Fatalf("second delta should compact: %v", sum2)
+	}
+	if str.LogRecords() != 0 || str.Generation() != 2 {
+		t.Fatalf("after compaction: gen=%d records=%d", str.Generation(), str.LogRecords())
+	}
+	str.Close()
+
+	// The compacted store restores to exactly the serving state.
+	str2, cp, logged, _, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer str2.Close()
+	if cp == nil || cp.Generation != 2 || len(logged) != 0 {
+		t.Fatalf("restore after compaction: gen=%v deltas=%d", cp.Generation, len(logged))
+	}
+	res, err := nvdclean.RestoreResult(cp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := srv.cur.Load().res
+	if res.Cleaned.Len() != want.Cleaned.Len() {
+		t.Fatalf("restored %d entries, want %d", res.Cleaned.Len(), want.Cleaned.Len())
+	}
+	for i, e := range want.Cleaned.Entries {
+		if !e.Equal(res.Cleaned.Entries[i]) {
+			t.Fatalf("restored cleaned entry %d (%s) differs", i, e.ID)
+		}
+	}
+}

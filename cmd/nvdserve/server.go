@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -12,16 +13,22 @@ import (
 	"time"
 
 	"nvdclean"
+	"nvdclean/internal/cve"
 	"nvdclean/internal/cvss"
+	"nvdclean/internal/cwe"
 	"nvdclean/internal/predict"
+	"nvdclean/internal/store"
 )
 
 // serveState is one immutable generation of the served snapshot. The
 // server swaps whole generations atomically, so readers never observe
 // a half-cleaned view and POST /feed re-cleans cause zero downtime.
+// Each generation carries its own sharded query indexes; swapping the
+// state pointer swaps snapshot and indexes together.
 type serveState struct {
 	res      *nvdclean.Result
 	byID     map[string]*nvdclean.Entry
+	idx      *store.Index
 	loadedAt time.Time
 	cleanDur time.Duration
 	// generation counts snapshot swaps since boot; incremental marks a
@@ -29,6 +36,9 @@ type serveState struct {
 	generation  int
 	incremental bool
 	warmStart   bool
+	// restored marks the boot generation of a warm restart from the
+	// persistent store (no full re-clean).
+	restored bool
 }
 
 // server is the nvdserve daemon: it owns the current snapshot
@@ -38,6 +48,11 @@ type server struct {
 	cur  atomic.Pointer[serveState]
 	// feedMu serializes POST /feed pipelines; reads are lock-free.
 	feedMu sync.Mutex
+	// persist is the generation store; nil runs in-memory only.
+	// compactEvery folds the delta log into a fresh checkpoint after
+	// that many logged deltas.
+	persist      *store.Store
+	compactEvery int
 }
 
 func newServer(opts nvdclean.Options) *server {
@@ -45,7 +60,8 @@ func newServer(opts nvdclean.Options) *server {
 }
 
 // load runs the full pipeline on snap and installs the result as the
-// current generation.
+// current generation, committing a checkpoint when a store is
+// attached.
 func (s *server) load(ctx context.Context, snap *nvdclean.Snapshot) error {
 	start := time.Now()
 	res, err := nvdclean.Clean(ctx, snap, s.opts)
@@ -56,17 +72,40 @@ func (s *server) load(ctx context.Context, snap *nvdclean.Snapshot) error {
 	if prev := s.cur.Load(); prev != nil {
 		gen = prev.generation + 1
 	}
-	s.cur.Store(newState(res, time.Since(start), gen, false, false))
+	s.cur.Store(s.newState(res, nil, time.Since(start), gen, false, false))
+	if s.persist != nil {
+		if err := s.persist.Commit(res.StoreCheckpoint()); err != nil {
+			return fmt.Errorf("committing checkpoint: %w", err)
+		}
+	}
 	return nil
 }
 
-func newState(res *nvdclean.Result, dur time.Duration, gen int, incremental, warm bool) *serveState {
+// newState builds one serving generation: backported scores are
+// materialized into the cleaned snapshot (so severity indexes and the
+// persisted cleaned feed are entry-local), and the query indexes are
+// either built in full or, given the previous generation, advanced
+// incrementally from the cleaned-view delta — the Diff of the two
+// cleaned snapshots, which also captures consolidation flips on
+// entries the feed delta never named. Untouched index shards are
+// shared between generations.
+func (s *server) newState(res *nvdclean.Result, prev *serveState, dur time.Duration, gen int, incremental, warm bool) *serveState {
+	nvdclean.ApplyBackport(res.Cleaned, res.Backport)
 	byID := make(map[string]*nvdclean.Entry, res.Cleaned.Len())
 	for _, e := range res.Cleaned.Entries {
 		byID[e.ID] = e
 	}
+	var idx *store.Index
+	if prev != nil && prev.idx != nil {
+		cleanedDelta := nvdclean.Diff(prev.res.Cleaned, res.Cleaned)
+		idx = prev.idx.Update(cleanedDelta, func(id string) *cve.Entry {
+			return prev.byID[id]
+		}, s.opts.Concurrency)
+	} else {
+		idx = store.BuildIndex(res.Cleaned, s.opts.Concurrency)
+	}
 	return &serveState{
-		res: res, byID: byID,
+		res: res, byID: byID, idx: idx,
 		loadedAt: time.Now(), cleanDur: dur,
 		generation: gen, incremental: incremental, warmStart: warm,
 	}
@@ -204,102 +243,201 @@ func (s *server) handleCVE(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st.view(e))
 }
 
+// queryParams is one parsed /query request.
+type queryParams struct {
+	vendor, product string
+	cweID           cwe.ID
+	hasCWE          bool
+	sev             cvss.Severity
+	hasSev          bool
+	year            int
+	limit, offset   int
+}
+
+// parseQueryParams validates a /query parameter set strictly: unknown
+// parameters are an error (a typoed filter silently matching
+// everything is worse than a 400), and every value must parse.
+func parseQueryParams(values url.Values) (queryParams, error) {
+	p := queryParams{limit: 50}
+	for k := range values {
+		switch k {
+		case "vendor", "product", "cwe", "severity", "year", "limit", "offset":
+		default:
+			return p, fmt.Errorf("unknown query parameter %q (want vendor, product, cwe, severity, year, limit or offset)", k)
+		}
+	}
+	p.vendor = values.Get("vendor")
+	p.product = values.Get("product")
+	if c := values.Get("cwe"); c != "" {
+		id, err := cwe.Parse(c)
+		if err != nil {
+			return p, fmt.Errorf("bad cwe %q", c)
+		}
+		p.cweID, p.hasCWE = id, true
+	}
+	if sev := values.Get("severity"); sev != "" {
+		var ok bool
+		if p.sev, ok = cvss.ParseSeverity(sev); !ok {
+			return p, fmt.Errorf("bad severity %q", sev)
+		}
+		p.hasSev = true
+	}
+	if y := values.Get("year"); y != "" {
+		var err error
+		if p.year, err = strconv.Atoi(y); err != nil {
+			return p, fmt.Errorf("bad year %q", y)
+		}
+	}
+	if l := values.Get("limit"); l != "" {
+		var err error
+		if p.limit, err = strconv.Atoi(l); err != nil || p.limit < 1 {
+			return p, fmt.Errorf("bad limit %q", l)
+		}
+	}
+	if o := values.Get("offset"); o != "" {
+		var err error
+		if p.offset, err = strconv.Atoi(o); err != nil || p.offset < 0 {
+			return p, fmt.Errorf("bad offset %q", o)
+		}
+	}
+	return p, nil
+}
+
+type hit struct {
+	ID          string   `json:"id"`
+	Severity    string   `json:"severity,omitempty"`
+	Score       *float64 `json:"score,omitempty"`
+	Backported  bool     `json:"backported,omitempty"`
+	VendorMatch string   `json:"vendor,omitempty"`
+}
+
+type queryResponse struct {
+	Total   int   `json:"total"`
+	Limit   int   `json:"limit"`
+	Offset  int   `json:"offset"`
+	Results []hit `json:"results"`
+}
+
+// matchVendor returns the vendor of the first CPE name satisfying the
+// vendor/product constraints, or "" when neither constraint is set —
+// the "vendor" field of a query hit.
+func matchVendor(e *nvdclean.Entry, vendor, product string) string {
+	if vendor == "" && product == "" {
+		return ""
+	}
+	for _, n := range e.CPEs {
+		if vendor != "" && n.Vendor != vendor {
+			continue
+		}
+		if product != "" && n.Product != product {
+			continue
+		}
+		return n.Vendor
+	}
+	return ""
+}
+
+// hitOf renders one matched entry.
+func (st *serveState) hitOf(e *nvdclean.Entry, p queryParams) hit {
+	h := hit{ID: e.ID, VendorMatch: matchVendor(e, p.vendor, p.product)}
+	if sev, ok := predict.PV3Severity(e, st.res.Backport); ok {
+		h.Severity = sev.String()
+	}
+	if e.V3 != nil {
+		score := e.V3.BaseScore()
+		h.Score = &score
+	} else if st.res.Backport != nil {
+		if score, ok := st.res.Backport.Scores[e.ID]; ok {
+			h.Score = &score
+			h.Backported = true
+		}
+	}
+	return h
+}
+
+// window applies offset/limit pagination to the matched entries and
+// renders the response.
+func (st *serveState) window(matched []*nvdclean.Entry, p queryParams) queryResponse {
+	resp := queryResponse{Total: len(matched), Limit: p.limit, Offset: p.offset, Results: []hit{}}
+	lo := p.offset
+	if lo > len(matched) {
+		lo = len(matched)
+	}
+	hi := lo + p.limit
+	if hi > len(matched) {
+		hi = len(matched)
+	}
+	for _, e := range matched[lo:hi] {
+		resp.Results = append(resp.Results, st.hitOf(e, p))
+	}
+	return resp
+}
+
+// queryIndexed answers a /query via index intersection: each active
+// filter contributes one posting list, the ordered merge of which is
+// the match set in snapshot order.
+func (st *serveState) queryIndexed(p queryParams) queryResponse {
+	q := store.Query{
+		Vendor: p.vendor, Product: p.product,
+		CWE: p.cweID, HasCWE: p.hasCWE,
+		Severity: p.sev, HasSeverity: p.hasSev,
+		Year: p.year,
+	}
+	ids, filtered := st.idx.Match(q)
+	var matched []*nvdclean.Entry
+	if !filtered {
+		matched = st.res.Cleaned.Entries
+	} else {
+		matched = make([]*nvdclean.Entry, 0, len(ids))
+		for _, id := range ids {
+			matched = append(matched, st.byID[id])
+		}
+	}
+	return st.window(matched, p)
+}
+
+// queryScan is the reference linear scan over the cleaned snapshot.
+// The handler serves queryIndexed; this path exists so the invariant
+// test can prove the indexes change latency, never bytes.
+func (st *serveState) queryScan(p queryParams) queryResponse {
+	var matched []*nvdclean.Entry
+	for _, e := range st.res.Cleaned.Entries {
+		if p.year != 0 && e.Year() != p.year {
+			continue
+		}
+		if (p.vendor != "" || p.product != "") && matchVendor(e, p.vendor, p.product) == "" {
+			continue
+		}
+		if p.hasCWE && !e.HasCWE(p.cweID) {
+			continue
+		}
+		if p.hasSev {
+			sev, ok := predict.PV3Severity(e, st.res.Backport)
+			if !ok || sev != p.sev {
+				continue
+			}
+		}
+		matched = append(matched, e)
+	}
+	return st.window(matched, p)
+}
+
 // handleQuery filters the cleaned snapshot by consolidated vendor,
-// product, pv3 severity band (real v3 when present, backported
-// otherwise) and year.
+// product (both on the same CPE name when combined), CWE type, pv3
+// severity band (real v3 when present, backported otherwise) and year,
+// paginated by limit/offset. Matching is index-intersection over the
+// generation's sharded inverted indexes.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	st := s.state(w)
 	if st == nil {
 		return
 	}
-	q := r.URL.Query()
-	vendor := q.Get("vendor")
-	product := q.Get("product")
-	year := 0
-	if y := q.Get("year"); y != "" {
-		var err error
-		if year, err = strconv.Atoi(y); err != nil {
-			writeError(w, http.StatusBadRequest, "bad year %q", y)
-			return
-		}
+	p, err := parseQueryParams(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	var wantSev cvss.Severity
-	filterSev := false
-	if sev := q.Get("severity"); sev != "" {
-		var ok bool
-		if wantSev, ok = cvss.ParseSeverity(sev); !ok {
-			writeError(w, http.StatusBadRequest, "bad severity %q", sev)
-			return
-		}
-		filterSev = true
-	}
-	limit := 50
-	if l := q.Get("limit"); l != "" {
-		var err error
-		if limit, err = strconv.Atoi(l); err != nil || limit < 1 {
-			writeError(w, http.StatusBadRequest, "bad limit %q", l)
-			return
-		}
-	}
-
-	type hit struct {
-		ID          string   `json:"id"`
-		Severity    string   `json:"severity,omitempty"`
-		Score       *float64 `json:"score,omitempty"`
-		Backported  bool     `json:"backported,omitempty"`
-		VendorMatch string   `json:"vendor,omitempty"`
-	}
-	var hits []hit
-	total := 0
-	for _, e := range st.res.Cleaned.Entries {
-		if year != 0 && e.Year() != year {
-			continue
-		}
-		matchedVendor := ""
-		if vendor != "" || product != "" {
-			found := false
-			for _, n := range e.CPEs {
-				if vendor != "" && n.Vendor != vendor {
-					continue
-				}
-				if product != "" && n.Product != product {
-					continue
-				}
-				found, matchedVendor = true, n.Vendor
-				break
-			}
-			if !found {
-				continue
-			}
-		}
-		sev, hasSev := predict.PV3Severity(e, st.res.Backport)
-		if filterSev && (!hasSev || sev != wantSev) {
-			continue
-		}
-		total++
-		if len(hits) >= limit {
-			continue
-		}
-		h := hit{ID: e.ID, VendorMatch: matchedVendor}
-		if hasSev {
-			h.Severity = sev.String()
-		}
-		if e.V3 != nil {
-			score := e.V3.BaseScore()
-			h.Score = &score
-		} else if st.res.Backport != nil {
-			if score, ok := st.res.Backport.Scores[e.ID]; ok {
-				h.Score = &score
-				h.Backported = true
-			}
-		}
-		hits = append(hits, h)
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"total":   total,
-		"limit":   limit,
-		"results": hits,
-	})
+	writeJSON(w, http.StatusOK, st.queryIndexed(p))
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -325,6 +463,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"cvesProductChanged":   len(res.ProductChanged),
 		},
 		"cweCorrection": res.CWECorrection,
+	}
+	if st.restored {
+		stats["warmRestart"] = true
+	}
+	if s.persist != nil {
+		stats["store"] = map[string]any{
+			"generation": s.persist.Generation(),
+			"logRecords": s.persist.LogRecords(),
+		}
 	}
 	if res.CrawlStats.URLs > 0 {
 		stats["crawl"] = map[string]any{
@@ -399,7 +546,17 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	}
 	dur := time.Since(start)
 	warm := res.Engine != nil && res.Engine == prev.Engine
-	next := newState(res, dur, st.generation+1, true, warm)
+	next := s.newState(res, st, dur, st.generation+1, true, warm)
+
+	// Make the delta durable before it becomes visible: a crash after
+	// the append replays it on restart, a crash before it loses only
+	// an update the client never saw acknowledged.
+	if s.persist != nil {
+		if err := s.persist.AppendDelta(delta); err != nil {
+			writeError(w, http.StatusInternalServerError, "persisting delta: %v", err)
+			return
+		}
+	}
 	s.cur.Store(next)
 
 	summary["changed"] = delta.Size()
@@ -407,6 +564,17 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	summary["cleanMillis"] = dur.Milliseconds()
 	summary["engineWarmStart"] = warm
 	summary["generation"] = next.generation
+
+	// Compaction: once enough deltas accumulate in the log, fold the
+	// serving generation into a fresh checkpoint so the next restart
+	// replays a short log instead of a long one.
+	if s.persist != nil && s.compactEvery > 0 && s.persist.LogRecords() >= s.compactEvery {
+		if err := s.persist.Commit(res.StoreCheckpoint()); err != nil {
+			summary["compactionError"] = err.Error()
+		} else {
+			summary["compacted"] = true
+		}
+	}
 	writeJSON(w, http.StatusOK, summary)
 }
 

@@ -125,6 +125,11 @@ func sortIDs(ids []string) {
 	sort.Slice(ids, func(i, j int) bool { return idLess(ids[i], ids[j]) })
 }
 
+// IDLess reports whether CVE identifier a orders before b by (year,
+// sequence) — the order snapshots, deltas and posting lists share.
+// Malformed identifiers fall back to lexical order.
+func IDLess(a, b string) bool { return idLess(a, b) }
+
 func idLess(a, b string) bool {
 	ya, sa, erra := SplitID(a)
 	yb, sb, errb := SplitID(b)

@@ -128,8 +128,20 @@ type (
 // feedTime is the timestamp layout of the NVD JSON feeds.
 const feedTime = "2006-01-02T15:04Z"
 
-// WriteFeed serializes the snapshot in NVD JSON 1.1 data-feed format.
+// WriteFeed serializes the snapshot in NVD JSON 1.1 data-feed format,
+// indented like the published feeds.
 func WriteFeed(w io.Writer, s *Snapshot) error {
+	return writeFeed(w, s, true)
+}
+
+// WriteFeedCompact is WriteFeed without indentation — the generation
+// store's checkpoint encoding, where decode speed and file size beat
+// readability. ReadFeed accepts both forms identically.
+func WriteFeedCompact(w io.Writer, s *Snapshot) error {
+	return writeFeed(w, s, false)
+}
+
+func writeFeed(w io.Writer, s *Snapshot, indent bool) error {
 	f := feedJSON{
 		DataType:    "CVE",
 		DataFormat:  "MITRE",
@@ -142,7 +154,9 @@ func WriteFeed(w io.Writer, s *Snapshot) error {
 		f.Items = append(f.Items, encodeItem(e))
 	}
 	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
+	if indent {
+		enc.SetIndent("", "  ")
+	}
 	return enc.Encode(&f)
 }
 
@@ -302,6 +316,70 @@ func decodeItem(item *itemJSON) (*Entry, error) {
 		}
 	}
 	return e, nil
+}
+
+// deltaJSON is the serialized form of a Delta — the record type of the
+// generation store's append-only log. Entries reuse the feed codec's
+// item layout (including the backportedV3 extension key), so a log
+// record is exactly one day's worth of feed movement in feed terms.
+type deltaJSON struct {
+	Kind       string     `json:"kind"`
+	CapturedAt string     `json:"capturedAt,omitempty"`
+	Added      []itemJSON `json:"added,omitempty"`
+	Modified   []itemJSON `json:"modified,omitempty"`
+	Removed    []string   `json:"removed,omitempty"`
+}
+
+const deltaKind = "cve-delta"
+
+// MarshalDelta serializes a delta as one self-describing JSON document,
+// the payload format of the generation store's log records.
+func MarshalDelta(d *Delta) ([]byte, error) {
+	dj := deltaJSON{Kind: deltaKind, Removed: d.Removed}
+	if !d.CapturedAt.IsZero() {
+		dj.CapturedAt = d.CapturedAt.UTC().Format(feedTime)
+	}
+	for _, e := range d.Added {
+		dj.Added = append(dj.Added, encodeItem(e))
+	}
+	for _, e := range d.Modified {
+		dj.Modified = append(dj.Modified, encodeItem(e))
+	}
+	return json.Marshal(&dj)
+}
+
+// UnmarshalDelta parses a delta written by MarshalDelta.
+func UnmarshalDelta(b []byte) (*Delta, error) {
+	var dj deltaJSON
+	if err := json.Unmarshal(b, &dj); err != nil {
+		return nil, fmt.Errorf("cve: decoding delta: %w", err)
+	}
+	if dj.Kind != deltaKind {
+		return nil, fmt.Errorf("cve: unexpected delta kind %q", dj.Kind)
+	}
+	d := &Delta{Removed: dj.Removed}
+	if dj.CapturedAt != "" {
+		ts, err := time.Parse(feedTime, dj.CapturedAt)
+		if err != nil {
+			return nil, fmt.Errorf("cve: delta capture time: %w", err)
+		}
+		d.CapturedAt = ts
+	}
+	for i := range dj.Added {
+		e, err := decodeItem(&dj.Added[i])
+		if err != nil {
+			return nil, fmt.Errorf("cve: delta added %d (%s): %w", i, dj.Added[i].CVE.Meta.ID, err)
+		}
+		d.Added = append(d.Added, e)
+	}
+	for i := range dj.Modified {
+		e, err := decodeItem(&dj.Modified[i])
+		if err != nil {
+			return nil, fmt.Errorf("cve: delta modified %d (%s): %w", i, dj.Modified[i].CVE.Meta.ID, err)
+		}
+		d.Modified = append(d.Modified, e)
+	}
+	return d, nil
 }
 
 func collectCPEs(nodes []nodeJSON, e *Entry) {

@@ -377,6 +377,12 @@ type ProductMap struct {
 	forward map[[2]string]string
 }
 
+// NewProductMap wraps a ready (vendor, alias)→canonical mapping, the
+// product counterpart of NewMap.
+func NewProductMap(m map[[2]string]string) *ProductMap {
+	return &ProductMap{forward: m}
+}
+
 // Canonical resolves a product name under a vendor.
 func (m *ProductMap) Canonical(vendor, product string) string {
 	if c, ok := m.forward[[2]string{vendor, product}]; ok {

@@ -1,0 +1,357 @@
+package store
+
+import (
+	"strconv"
+
+	"nvdclean/internal/cve"
+	"nvdclean/internal/cvss"
+	"nvdclean/internal/cwe"
+	"nvdclean/internal/parallel"
+)
+
+// The query indexes: inverted posting lists over one cleaned
+// generation, sharded by key hash so builds and incremental updates
+// parallelize and a generation swap clones only the shards a delta
+// touches. Posting lists hold CVE IDs in (year, sequence) order — the
+// order the snapshot itself is sorted in — so index intersections are
+// ordered merges and results come out in snapshot order, identical to
+// a linear scan, at any worker count.
+//
+// Severity postings read the entry's materialized pv3 band (the real
+// v3 severity when present, the backported PV3 score's band
+// otherwise), so the indexed snapshot must have backported scores
+// applied (nvdclean.ApplyBackport).
+
+// numShards is the fixed shard count. Key placement is a pure hash of
+// the key, so index contents never depend on the worker count.
+const numShards = 16
+
+// indexGrain is the entry-chunk size of parallel builds. Chunk layout
+// depends only on the snapshot length, keeping per-chunk partial
+// postings — and their in-order merge — worker-independent.
+const indexGrain = 512
+
+// Kinds of index keys.
+type keyKind uint8
+
+const (
+	keyVendor keyKind = iota + 1
+	keyProduct
+	// keyPair indexes (vendor, product) pairs: a query constraining
+	// both fields must match them on the same CPE name, which separate
+	// vendor∩product postings cannot express.
+	keyPair
+	keyCWE
+	keySeverity
+	keyYear
+)
+
+// key is one posting-list key.
+type key struct {
+	kind keyKind
+	a, b string
+}
+
+// shardOf places a key by FNV-1a hash. The hash is seedless so shard
+// placement is identical across processes and runs; nothing persists
+// shard numbers, but stable placement keeps update/build comparisons
+// in the invariant tests exact.
+func shardOf(k key) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(k.kind)) * prime64
+	for i := 0; i < len(k.a); i++ {
+		h = (h ^ uint64(k.a[i])) * prime64
+	}
+	h = (h ^ 0) * prime64
+	for i := 0; i < len(k.b); i++ {
+		h = (h ^ uint64(k.b[i])) * prime64
+	}
+	return int(h % numShards)
+}
+
+// shard is one immutable posting-list map.
+type shard struct {
+	post map[key][]string
+}
+
+// Index is an immutable set of sharded inverted indexes over one
+// cleaned generation. Lookups are lock-free; updates produce a new
+// Index sharing every untouched shard with the old one.
+type Index struct {
+	shards [numShards]*shard
+}
+
+// entrySeverity is the pv3 band of a cleaned entry with backported
+// scores materialized: the real v3 band when present, the predicted
+// band otherwise.
+func entrySeverity(e *cve.Entry) (cvss.Severity, bool) {
+	if e.V3 != nil {
+		return e.V3.Severity(), true
+	}
+	if e.PV3 != nil {
+		return cvss.SeverityV3(*e.PV3), true
+	}
+	return 0, false
+}
+
+// entryKeys returns every posting key of one cleaned entry.
+func entryKeys(e *cve.Entry) []key {
+	keys := make([]key, 0, 3*len(e.CPEs)+len(e.CWEs)+2)
+	seenV := make(map[string]bool, len(e.CPEs))
+	seenP := make(map[string]bool, len(e.CPEs))
+	seenVP := make(map[[2]string]bool, len(e.CPEs))
+	for _, n := range e.CPEs {
+		if !seenV[n.Vendor] {
+			seenV[n.Vendor] = true
+			keys = append(keys, key{kind: keyVendor, a: n.Vendor})
+		}
+		if !seenP[n.Product] {
+			seenP[n.Product] = true
+			keys = append(keys, key{kind: keyProduct, a: n.Product})
+		}
+		vp := [2]string{n.Vendor, n.Product}
+		if !seenVP[vp] {
+			seenVP[vp] = true
+			keys = append(keys, key{kind: keyPair, a: n.Vendor, b: n.Product})
+		}
+	}
+	seenC := make(map[cwe.ID]bool, len(e.CWEs))
+	for _, c := range e.CWEs {
+		if !seenC[c] {
+			seenC[c] = true
+			keys = append(keys, key{kind: keyCWE, a: c.String()})
+		}
+	}
+	if sev, ok := entrySeverity(e); ok {
+		keys = append(keys, key{kind: keySeverity, a: sev.String()})
+	}
+	keys = append(keys, key{kind: keyYear, a: strconv.Itoa(e.Year())})
+	return keys
+}
+
+// BuildIndex builds the full index over a cleaned snapshot (entries
+// sorted by ID, backported scores materialized). Chunks of entries map
+// to shard-local partial postings in parallel; each shard then folds
+// its partials in chunk order, so posting lists come out in snapshot
+// order no matter how many workers ran.
+func BuildIndex(snap *cve.Snapshot, workers int) *Index {
+	n := len(snap.Entries)
+	chunks := parallel.NumChunks(n, indexGrain)
+	locals := make([][numShards]map[key][]string, chunks)
+	parallel.ForRange(workers, n, indexGrain, func(start, end int) {
+		c := start / indexGrain
+		for i := start; i < end; i++ {
+			e := snap.Entries[i]
+			for _, k := range entryKeys(e) {
+				s := shardOf(k)
+				if locals[c][s] == nil {
+					locals[c][s] = make(map[key][]string)
+				}
+				locals[c][s][k] = append(locals[c][s][k], e.ID)
+			}
+		}
+	})
+	ix := &Index{}
+	parallel.For(workers, numShards, func(s int) {
+		post := make(map[key][]string)
+		for c := range locals {
+			for k, ids := range locals[c][s] {
+				post[k] = append(post[k], ids...)
+			}
+		}
+		ix.shards[s] = &shard{post: post}
+	})
+	return ix
+}
+
+// Update returns a new Index reflecting a cleaned-view delta (the Diff
+// of the previous and next cleaned snapshots — which can differ on
+// entries the feed delta never touched, e.g. when a new alias flips a
+// consolidation). prev resolves an ID to the previous generation's
+// cleaned entry, providing the keys removed and modified entries held.
+// Shards the delta does not touch are shared with the receiver; the
+// receiver itself is never modified, so the old generation keeps
+// serving its index.
+func (ix *Index) Update(d *cve.Delta, prev func(id string) *cve.Entry, workers int) *Index {
+	if d.Empty() {
+		return ix
+	}
+	type op struct {
+		k   key
+		id  string
+		add bool
+	}
+	var perShard [numShards][]op
+	stage := func(e *cve.Entry, add bool) {
+		for _, k := range entryKeys(e) {
+			s := shardOf(k)
+			perShard[s] = append(perShard[s], op{k: k, id: e.ID, add: add})
+		}
+	}
+	for _, id := range d.Removed {
+		if e := prev(id); e != nil {
+			stage(e, false)
+		}
+	}
+	for _, e := range d.Modified {
+		if old := prev(e.ID); old != nil {
+			stage(old, false)
+		}
+		stage(e, true)
+	}
+	for _, e := range d.Added {
+		stage(e, true)
+	}
+
+	out := &Index{}
+	parallel.For(workers, numShards, func(s int) {
+		ops := perShard[s]
+		if len(ops) == 0 {
+			out.shards[s] = ix.shards[s]
+			return
+		}
+		old := ix.shards[s].post
+		post := make(map[key][]string, len(old))
+		for k, ids := range old {
+			post[k] = ids
+		}
+		// Copy each touched posting list once, then edit the copy.
+		touched := make(map[key]bool, len(ops))
+		for _, o := range ops {
+			list := post[o.k]
+			if !touched[o.k] {
+				list = append([]string(nil), list...)
+				touched[o.k] = true
+			}
+			if o.add {
+				list = insertID(list, o.id)
+			} else {
+				list = removeID(list, o.id)
+			}
+			if len(list) == 0 {
+				delete(post, o.k)
+			} else {
+				post[o.k] = list
+			}
+		}
+		out.shards[s] = &shard{post: post}
+	})
+	return out
+}
+
+// insertID adds id to a (year, sequence)-ordered posting list,
+// ignoring duplicates.
+func insertID(list []string, id string) []string {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cve.IDLess(list[mid], id) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) && list[lo] == id {
+		return list
+	}
+	list = append(list, "")
+	copy(list[lo+1:], list[lo:])
+	list[lo] = id
+	return list
+}
+
+// removeID drops id from an ordered posting list.
+func removeID(list []string, id string) []string {
+	for i, v := range list {
+		if v == id {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// Query is one /query filter set. Zero-valued fields are inactive.
+type Query struct {
+	Vendor, Product string
+	CWE             cwe.ID
+	HasCWE          bool
+	Severity        cvss.Severity
+	HasSeverity     bool
+	Year            int
+}
+
+// Filtered reports whether any index-backed filter is active.
+func (q Query) Filtered() bool {
+	return q.Vendor != "" || q.Product != "" || q.HasCWE || q.HasSeverity || q.Year != 0
+}
+
+func (ix *Index) lookup(k key) []string {
+	return ix.shards[shardOf(k)].post[k]
+}
+
+// Match intersects the posting lists of every active filter and
+// returns the matching CVE IDs in snapshot order. The second result is
+// false when the query has no active filters (every entry matches, no
+// lists to intersect). The returned slice aliases index internals on
+// single-filter queries and must not be modified.
+func (ix *Index) Match(q Query) ([]string, bool) {
+	if !q.Filtered() {
+		return nil, false
+	}
+	var lists [][]string
+	switch {
+	case q.Vendor != "" && q.Product != "":
+		lists = append(lists, ix.lookup(key{kind: keyPair, a: q.Vendor, b: q.Product}))
+	case q.Vendor != "":
+		lists = append(lists, ix.lookup(key{kind: keyVendor, a: q.Vendor}))
+	case q.Product != "":
+		lists = append(lists, ix.lookup(key{kind: keyProduct, a: q.Product}))
+	}
+	if q.HasCWE {
+		lists = append(lists, ix.lookup(key{kind: keyCWE, a: q.CWE.String()}))
+	}
+	if q.HasSeverity {
+		lists = append(lists, ix.lookup(key{kind: keySeverity, a: q.Severity.String()}))
+	}
+	if q.Year != 0 {
+		lists = append(lists, ix.lookup(key{kind: keyYear, a: strconv.Itoa(q.Year)}))
+	}
+	// Intersect smallest-first: every list is ordered, so each
+	// intersection is one linear merge bounded by the smaller side.
+	for i := 1; i < len(lists); i++ {
+		for j := i; j > 0 && len(lists[j]) < len(lists[j-1]); j-- {
+			lists[j], lists[j-1] = lists[j-1], lists[j]
+		}
+	}
+	acc := lists[0]
+	for _, next := range lists[1:] {
+		if len(acc) == 0 {
+			return nil, true
+		}
+		acc = intersect(acc, next)
+	}
+	return acc, true
+}
+
+// intersect merges two ordered ID lists.
+func intersect(a, b []string) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case cve.IDLess(a[i], b[j]):
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"nvdclean/internal/cpe"
+	"nvdclean/internal/cve"
+	"nvdclean/internal/cvss"
+	"nvdclean/internal/cwe"
+)
+
+// indexSnapshot builds a deterministic snapshot with overlapping
+// vendors, products, CWE types, severity bands and years.
+func indexSnapshot(n int) *cve.Snapshot {
+	vendors := []string{"redhat", "microsoft", "oracle", "acme", "initech"}
+	products := []string{"kernel", "office", "db", "anvil", "tps"}
+	cwes := [][]int{{79}, {89, 79}, {125}, nil, {-1}}
+	s := &cve.Snapshot{CapturedAt: time.Date(2018, 5, 21, 0, 0, 0, 0, time.UTC)}
+	for i := 0; i < n; i++ {
+		year := 2014 + i%5
+		e := testEntry(year, i+1, vendors[i%len(vendors)], products[i%len(products)], cwes[i%len(cwes)], v2High, "")
+		// Multi-CPE entries exercise pair semantics: vendor A with
+		// product X plus vendor B with product Y must NOT match a
+		// query for (A, Y).
+		if i%3 == 0 {
+			e.CPEs = append(e.CPEs, cpe.NewName(cpe.PartApplication, vendors[(i+1)%len(vendors)], products[(i+2)%len(products)], ""))
+		}
+		switch i % 4 {
+		case 0:
+			v, _ := cvss.ParseV3(v3Crit)
+			e.V3 = &v
+		case 1:
+			pv := 2.0 + float64(i%8)
+			e.PV3 = &pv
+		case 2:
+			// v2-only, no backported score: no severity posting.
+			e.V2 = nil
+			e.PV3 = nil
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	s.Sort()
+	return s
+}
+
+// bruteMatch is the reference filter: a plain scan of the snapshot.
+func bruteMatch(snap *cve.Snapshot, q Query) []string {
+	var out []string
+	for _, e := range snap.Entries {
+		if q.Year != 0 && e.Year() != q.Year {
+			continue
+		}
+		if q.Vendor != "" || q.Product != "" {
+			found := false
+			for _, n := range e.CPEs {
+				if q.Vendor != "" && n.Vendor != q.Vendor {
+					continue
+				}
+				if q.Product != "" && n.Product != q.Product {
+					continue
+				}
+				found = true
+				break
+			}
+			if !found {
+				continue
+			}
+		}
+		if q.HasCWE && !e.HasCWE(q.CWE) {
+			continue
+		}
+		if q.HasSeverity {
+			sev, ok := entrySeverity(e)
+			if !ok || sev != q.Severity {
+				continue
+			}
+		}
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// queryGrid enumerates a representative set of filter combinations.
+func queryGrid() []Query {
+	var qs []Query
+	for _, vendor := range []string{"", "redhat", "acme", "nosuch"} {
+		for _, product := range []string{"", "kernel", "anvil"} {
+			qs = append(qs, Query{Vendor: vendor, Product: product})
+			qs = append(qs, Query{Vendor: vendor, Product: product, Year: 2016})
+			qs = append(qs, Query{Vendor: vendor, Product: product, HasSeverity: true, Severity: cvss.SeverityCritical})
+		}
+	}
+	qs = append(qs,
+		Query{HasCWE: true, CWE: cwe.ID(79)},
+		Query{HasCWE: true, CWE: cwe.ID(89), Year: 2015},
+		Query{HasCWE: true, CWE: cwe.ID(4242)},
+		Query{HasSeverity: true, Severity: cvss.SeverityHigh, Year: 2017},
+		Query{Year: 1999},
+	)
+	return qs
+}
+
+func TestIndexMatchesLinearScan(t *testing.T) {
+	snap := indexSnapshot(300)
+	ix := BuildIndex(snap, 4)
+	for _, q := range queryGrid() {
+		got, filtered := ix.Match(q)
+		if !q.Filtered() {
+			if filtered {
+				t.Fatalf("empty query reported filtered")
+			}
+			continue
+		}
+		want := bruteMatch(snap, q)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("query %+v: got %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestIndexWorkerInvariance(t *testing.T) {
+	snap := indexSnapshot(300)
+	base := BuildIndex(snap, 1)
+	for _, w := range []int{2, 3, 8} {
+		ix := BuildIndex(snap, w)
+		for s := range base.shards {
+			if !reflect.DeepEqual(base.shards[s].post, ix.shards[s].post) {
+				t.Fatalf("shard %d differs between workers 1 and %d", s, w)
+			}
+		}
+	}
+}
+
+// TestIndexUpdate proves incremental maintenance: updating with a
+// delta yields exactly the index a full rebuild of the new snapshot
+// would, the old index is untouched, and unaffected shards are shared.
+func TestIndexUpdate(t *testing.T) {
+	snap := indexSnapshot(200)
+	ix := BuildIndex(snap, 4)
+
+	next := snap.Clone()
+	// Remove one entry, modify another (vendor rename + severity
+	// change), add two new ones.
+	removedID := next.Entries[10].ID
+	next.Entries = append(next.Entries[:10], next.Entries[11:]...)
+	mod := next.Entries[20]
+	mod.CPEs[0].Vendor = "globex"
+	pv := 9.8
+	mod.V3 = nil
+	mod.PV3 = &pv
+	added1 := testEntry(2019, 1, "globex", "kernel", []int{79}, v2High, "")
+	added2 := testEntry(2013, 1, "initech", "tps", nil, "", v3Crit)
+	next.Entries = append(next.Entries, added1, added2)
+	next.Sort()
+
+	d := cve.Diff(snap, next)
+	if len(d.Added) != 2 || len(d.Modified) != 1 || len(d.Removed) != 1 || d.Removed[0] != removedID {
+		t.Fatalf("unexpected delta shape: %d/%d/%d", len(d.Added), len(d.Modified), len(d.Removed))
+	}
+	prevByID := make(map[string]*cve.Entry, len(snap.Entries))
+	for _, e := range snap.Entries {
+		prevByID[e.ID] = e
+	}
+
+	before := make([]map[key][]string, numShards)
+	for s := range ix.shards {
+		before[s] = make(map[key][]string, len(ix.shards[s].post))
+		for k, ids := range ix.shards[s].post {
+			before[s][k] = append([]string(nil), ids...)
+		}
+	}
+
+	got := ix.Update(d, func(id string) *cve.Entry { return prevByID[id] }, 4)
+	want := BuildIndex(next, 4)
+	shared := 0
+	for s := range want.shards {
+		if !reflect.DeepEqual(got.shards[s].post, want.shards[s].post) {
+			t.Errorf("shard %d: incremental update diverges from full rebuild", s)
+		}
+		if got.shards[s] == ix.shards[s] {
+			shared++
+		}
+	}
+	for s := range ix.shards {
+		if !reflect.DeepEqual(ix.shards[s].post, before[s]) {
+			t.Errorf("shard %d of the previous index was mutated", s)
+		}
+	}
+	if shared == 0 {
+		t.Error("no shard was shared between generations (copy-on-write defeated)")
+	}
+	if got2 := ix.Update(&cve.Delta{}, func(string) *cve.Entry { return nil }, 4); got2 != ix {
+		t.Error("empty delta should return the receiver")
+	}
+}
+
+func TestInsertRemoveID(t *testing.T) {
+	var list []string
+	for _, seq := range []int{5, 1, 9, 3, 5} {
+		list = insertID(list, cve.FormatID(2017, seq))
+	}
+	want := []string{"CVE-2017-0001", "CVE-2017-0003", "CVE-2017-0005", "CVE-2017-0009"}
+	if !reflect.DeepEqual(list, want) {
+		t.Fatalf("insertID: %v", list)
+	}
+	list = removeID(list, "CVE-2017-0003")
+	list = removeID(list, "CVE-2017-9999")
+	if fmt.Sprint(list) != "[CVE-2017-0001 CVE-2017-0005 CVE-2017-0009]" {
+		t.Fatalf("removeID: %v", list)
+	}
+}

@@ -1,0 +1,546 @@
+// Package store is nvdserve's persistence layer: a generation store
+// that makes a cleaned-snapshot generation durable, and sharded
+// inverted indexes (index.go) that make querying one fast.
+//
+// On disk a store directory holds:
+//
+//	CURRENT          the name of the committed checkpoint directory
+//	gen-NNNNNN/      one full checkpoint (see below)
+//	wal-NNNNNN.log   CRC-framed delta records applied since gen-NNNNNN
+//
+// A checkpoint directory contains the original and cleaned snapshots in
+// NVD JSON 1.1 feed form (the cleaned feed carries the backportedV3
+// extension key), the consolidation maps, the trained severity engine,
+// and state.json — the incremental-reuse state (dataset fingerprint,
+// per-entry crawl and CWE artifacts, backported scores) that lets a
+// restart rebuild a delta-cleanable Result without re-running the
+// pipeline. MANIFEST.json closes the checkpoint with per-file CRC-32C
+// sums and is written last.
+//
+// Commit writes the next checkpoint into a gen-NNNNNN.tmp directory,
+// fsyncs it, renames it into place, and only then swaps CURRENT (also
+// via rename) — the CURRENT swap is the commit point. A crash at any
+// step leaves either the old generation fully intact (tmp directories
+// and orphaned gen directories are swept on open) or the new one fully
+// committed. The delta log recovers independently by truncating its
+// torn tail, so the store always reopens at the last committed
+// generation plus every durable delta.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nvdclean/internal/crawler"
+	"nvdclean/internal/cve"
+	"nvdclean/internal/naming"
+	"nvdclean/internal/parallel"
+	"nvdclean/internal/predict"
+)
+
+// Checkpoint file names.
+const (
+	currentFile  = "CURRENT"
+	manifestFile = "MANIFEST.json"
+	originalFile = "original.json"
+	cleanedFile  = "cleaned.json"
+	vendorsFile  = "vendors.json"
+	productsFile = "products.json"
+	engineFile   = "engine.json"
+	stateFile    = "state.json"
+)
+
+// CrawlArtifact is one entry's persisted §4.1 outcome: a pure function
+// of the entry's references, replayed on warm starts so unchanged
+// entries never touch the network again.
+type CrawlArtifact struct {
+	Estimated time.Time     `json:"estimated"`
+	LagDays   int           `json:"lagDays"`
+	Stats     crawler.Stats `json:"stats"`
+}
+
+// State is the serializable incremental-reuse state of one cleaned
+// generation — everything CleanDelta needs from a previous Result that
+// is not already in the two snapshots, the consolidation maps, or the
+// engine document.
+type State struct {
+	// Fingerprint is the §4.3 dataset fingerprint of the cleaned
+	// snapshot; Trained marks a generation whose severity stage ran.
+	Fingerprint uint64 `json:"fingerprint"`
+	Trained     bool   `json:"trained"`
+	// Models, ModelConfig and Seed reproduce the training signature the
+	// engine warm-start check compares against the boot options.
+	Models      string              `json:"models"`
+	ModelConfig predict.ModelConfig `json:"modelConfig"`
+	Seed        int64               `json:"seed"`
+	// Crawled marks a generation produced with a transport; Crawl holds
+	// the per-entry artifacts.
+	Crawled bool                     `json:"crawled"`
+	Crawl   map[string]CrawlArtifact `json:"crawl,omitempty"`
+	// CWEFix holds the per-entry §4.4 outcomes.
+	CWEFix map[string]predict.EntryCorrection `json:"cweFix"`
+	// HasBackport marks a generation carrying predicted v3 scores;
+	// Backport maps CVE ID to the predicted score.
+	HasBackport bool               `json:"hasBackport"`
+	Backport    map[string]float64 `json:"backport,omitempty"`
+}
+
+// Checkpoint is one full generation as persisted: both snapshots, the
+// consolidation maps, the trained engine (nil when the severity stage
+// did not run) and the reuse state.
+type Checkpoint struct {
+	Generation uint64
+	Original   *cve.Snapshot
+	Cleaned    *cve.Snapshot
+	Vendors    *naming.Map
+	Products   *naming.ProductMap
+	Engine     *predict.Engine
+	State      *State
+}
+
+// manifest closes a checkpoint directory: it is written last, so its
+// presence (with matching sums) certifies every other file.
+type manifest struct {
+	Kind       string             `json:"kind"`
+	Generation uint64             `json:"generation"`
+	Files      map[string]fileSum `json:"files"`
+}
+
+type fileSum struct {
+	Size   int64  `json:"size"`
+	CRC32C uint32 `json:"crc32c"`
+}
+
+const manifestKind = "nvdstore-checkpoint"
+
+// Store is an open generation store. Writers must be serialized
+// (nvdserve does so behind its feed mutex); the counter accessors
+// Generation and LogRecords may be called concurrently with a writer.
+type Store struct {
+	dir string
+	// mu guards gen and wal against concurrent counter reads; the
+	// write path itself is externally serialized.
+	mu  sync.Mutex
+	gen uint64
+	wal *wal
+}
+
+// Open opens (creating if needed) the store at dir and recovers it to
+// the last committed generation: the newest valid checkpoint plus every
+// durable delta-log record. It returns a nil Checkpoint when the store
+// is empty (cold boot), and human-readable notes for anything recovery
+// had to repair or discard.
+func Open(dir string) (*Store, *Checkpoint, []*cve.Delta, []string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	var notes []string
+
+	cp, err := pickCheckpoint(dir, &notes)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	s := &Store{dir: dir}
+	if cp != nil {
+		s.gen = cp.Generation
+	}
+	sweepStale(dir, s.gen, &notes)
+	if cp == nil {
+		return s, nil, nil, notes, nil
+	}
+
+	w, deltas, note, err := openWAL(s.walPath(s.gen))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if note != "" {
+		notes = append(notes, "delta log: "+note)
+	}
+	s.wal = w
+	return s, cp, deltas, notes, nil
+}
+
+// pickCheckpoint loads the generation CURRENT names, falling back to
+// the newest readable gen-* directory when CURRENT is missing, stale,
+// or names a corrupt checkpoint.
+func pickCheckpoint(dir string, notes *[]string) (*Checkpoint, error) {
+	var tried []string
+	if name, err := readCurrent(dir); err == nil && name != "" {
+		cp, err := loadCheckpoint(filepath.Join(dir, name))
+		if err == nil {
+			return cp, nil
+		}
+		*notes = append(*notes, fmt.Sprintf("checkpoint %s (CURRENT): %v", name, err))
+		tried = append(tried, name)
+	}
+	for _, name := range genDirs(dir) {
+		if slices.Contains(tried, name) {
+			continue
+		}
+		cp, err := loadCheckpoint(filepath.Join(dir, name))
+		if err != nil {
+			*notes = append(*notes, fmt.Sprintf("checkpoint %s: %v", name, err))
+			continue
+		}
+		*notes = append(*notes, fmt.Sprintf("recovered from checkpoint %s", name))
+		return cp, nil
+	}
+	return nil, nil
+}
+
+// sweepStale removes interrupted commits (gen-*.tmp), checkpoint
+// directories other than the recovered generation, and delta logs that
+// no longer belong to any generation.
+func sweepStale(dir string, gen uint64, notes *[]string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	keepDir := genName(gen)
+	keepWAL := fmt.Sprintf("wal-%06d.log", gen)
+	for _, ent := range entries {
+		name := ent.Name()
+		var stale bool
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			stale = true
+		case strings.HasPrefix(name, "gen-") && ent.IsDir() && name != keepDir:
+			stale = true
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log") && name != keepWAL:
+			stale = true
+		}
+		if stale {
+			if err := os.RemoveAll(filepath.Join(dir, name)); err == nil {
+				*notes = append(*notes, "swept stale "+name)
+			}
+		}
+	}
+}
+
+// genDirs lists complete-looking checkpoint directories, newest first.
+func genDirs(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() && strings.HasPrefix(name, "gen-") && !strings.HasSuffix(name, ".tmp") {
+			names = append(names, name)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	return names
+}
+
+func genName(gen uint64) string { return fmt.Sprintf("gen-%06d", gen) }
+
+func (s *Store) walPath(gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("wal-%06d.log", gen))
+}
+
+// Generation returns the committed checkpoint generation (0 when the
+// store is empty).
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// LogRecords returns the number of delta records applied on top of the
+// committed checkpoint — the compaction trigger.
+func (s *Store) LogRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.records
+}
+
+// AppendDelta makes one feed delta durable. It must be called before
+// the corresponding generation starts serving: a crash after the
+// append replays the delta on restart, a crash before it loses nothing
+// that was ever visible.
+func (s *Store) AppendDelta(d *cve.Delta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return fmt.Errorf("store: no committed checkpoint to log deltas against")
+	}
+	return s.wal.append(d)
+}
+
+// Commit persists cp as the next generation: it writes a complete
+// checkpoint directory, atomically renames it into place, swaps
+// CURRENT, starts a fresh (empty) delta log and sweeps the previous
+// generation. Folding the serving Result into a Commit after enough
+// AppendDelta calls is the store's compaction.
+func (s *Store) Commit(cp *Checkpoint) error {
+	if cp == nil || cp.Original == nil || cp.Cleaned == nil || cp.State == nil ||
+		cp.Vendors == nil || cp.Products == nil {
+		return fmt.Errorf("store: incomplete checkpoint")
+	}
+	gen := s.gen + 1
+	name := genName(gen)
+	tmp := filepath.Join(s.dir, name+".tmp")
+	if err := os.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return err
+	}
+	m := &manifest{Kind: manifestKind, Generation: gen, Files: make(map[string]fileSum)}
+	var mMu sync.Mutex
+	write := func(file string, encode func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(tmp, file))
+		if err != nil {
+			return err
+		}
+		// Checksum while encoding, so the manifest sum costs no
+		// second read of the (potentially large) document.
+		cw := &crcWriter{crc: crc32.New(walTable)}
+		if err := encode(io.MultiWriter(f, cw)); err != nil {
+			f.Close()
+			return fmt.Errorf("store: writing %s: %w", file, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		mMu.Lock()
+		m.Files[file] = fileSum{Size: cw.size, CRC32C: cw.crc.Sum32()}
+		mMu.Unlock()
+		return nil
+	}
+
+	// Encode the checkpoint documents concurrently; the manifest is
+	// written strictly last, since its presence certifies the rest.
+	var g parallel.Group
+	g.Go(func() error {
+		return write(originalFile, func(w io.Writer) error { return cve.WriteFeedCompact(w, cp.Original) })
+	})
+	g.Go(func() error {
+		return write(cleanedFile, func(w io.Writer) error { return cve.WriteFeedCompact(w, cp.Cleaned) })
+	})
+	g.Go(func() error {
+		return write(vendorsFile, func(w io.Writer) error { return cp.Vendors.WriteJSON(w) })
+	})
+	g.Go(func() error {
+		return write(productsFile, func(w io.Writer) error { return cp.Products.WriteJSON(w) })
+	})
+	g.Go(func() error {
+		return write(stateFile, func(w io.Writer) error { return json.NewEncoder(w).Encode(cp.State) })
+	})
+	if cp.Engine != nil {
+		g.Go(func() error {
+			return write(engineFile, func(w io.Writer) error { return cp.Engine.WriteJSON(w) })
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return err
+	}
+	if err := write(manifestFile, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	}); err != nil {
+		return err
+	}
+	// The manifest records sums for every other file, not itself.
+	delete(m.Files, manifestFile)
+
+	// A prior Commit attempt for this generation may have renamed its
+	// directory into place and then failed (e.g. disk full writing
+	// CURRENT); clear the orphan or the rename below wedges every
+	// retry with ENOTEMPTY.
+	final := filepath.Join(s.dir, name)
+	if err := os.RemoveAll(final); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	// Fresh, empty delta log for the new generation before the commit
+	// point, so a committed CURRENT always has its log.
+	newWAL, _, _, err := openWAL(s.walPath(gen))
+	if err != nil {
+		return err
+	}
+	if err := writeCurrent(s.dir, name); err != nil {
+		newWAL.close()
+		return err
+	}
+	// Committed. Retire the previous generation.
+	s.mu.Lock()
+	oldGen := s.gen
+	if s.wal != nil {
+		s.wal.close()
+	}
+	s.wal = newWAL
+	s.gen = gen
+	s.mu.Unlock()
+	if oldGen != 0 {
+		os.RemoveAll(filepath.Join(s.dir, genName(oldGen)))
+		os.Remove(s.walPath(oldGen))
+	}
+	return nil
+}
+
+// Close releases the delta log handle.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.wal.close()
+}
+
+// crcWriter accumulates the size and CRC-32C of everything written
+// through it.
+type crcWriter struct {
+	crc  hash.Hash32
+	size int64
+}
+
+func (w *crcWriter) Write(p []byte) (int, error) {
+	w.crc.Write(p)
+	w.size += int64(len(p))
+	return len(p), nil
+}
+
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+func readCurrent(dir string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(dir, currentFile))
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(b)), nil
+}
+
+// writeCurrent atomically repoints CURRENT — the commit point of the
+// whole store.
+func writeCurrent(dir, name string) error {
+	tmp := filepath.Join(dir, currentFile+".tmp")
+	if err := os.WriteFile(tmp, []byte(name+"\n"), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, currentFile)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadCheckpoint reads and fully verifies one checkpoint directory:
+// the manifest must parse, every listed file must match its recorded
+// size and CRC-32C sum, and every document must decode.
+func loadCheckpoint(path string) (*Checkpoint, error) {
+	mb, err := os.ReadFile(filepath.Join(path, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	if m.Kind != manifestKind {
+		return nil, fmt.Errorf("manifest: unexpected kind %q", m.Kind)
+	}
+	files := make(map[string][]byte, len(m.Files))
+	for name, want := range m.Files {
+		data, err := os.ReadFile(filepath.Join(path, name))
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(data)) != want.Size || crc32.Checksum(data, walTable) != want.CRC32C {
+			return nil, fmt.Errorf("%s: checksum mismatch", name)
+		}
+		files[name] = data
+	}
+	need := func(name string) ([]byte, error) {
+		data, ok := files[name]
+		if !ok {
+			return nil, fmt.Errorf("manifest lists no %s", name)
+		}
+		return data, nil
+	}
+
+	// The two snapshots, the reuse state and the engine are the large
+	// documents; decode them concurrently. The consolidation maps are
+	// small enough to decode inline.
+	cp := &Checkpoint{Generation: m.Generation}
+	var g parallel.Group
+	decode := func(file string, fn func([]byte) error) {
+		g.Go(func() error {
+			data, err := need(file)
+			if err != nil {
+				return err
+			}
+			if err := fn(data); err != nil {
+				return fmt.Errorf("%s: %w", file, err)
+			}
+			return nil
+		})
+	}
+	decode(originalFile, func(data []byte) (err error) {
+		cp.Original, err = cve.ReadFeed(bytes.NewReader(data))
+		return err
+	})
+	decode(cleanedFile, func(data []byte) (err error) {
+		cp.Cleaned, err = cve.ReadFeed(bytes.NewReader(data))
+		return err
+	})
+	decode(stateFile, func(data []byte) error {
+		return json.Unmarshal(data, &cp.State)
+	})
+	if _, ok := files[engineFile]; ok {
+		decode(engineFile, func(data []byte) (err error) {
+			cp.Engine, err = predict.ReadEngineJSON(bytes.NewReader(data))
+			return err
+		})
+	}
+	if data, err := need(vendorsFile); err != nil {
+		return nil, err
+	} else if cp.Vendors, err = naming.ReadMapJSON(bytes.NewReader(data)); err != nil {
+		return nil, fmt.Errorf("%s: %w", vendorsFile, err)
+	}
+	if data, err := need(productsFile); err != nil {
+		return nil, err
+	} else if cp.Products, err = naming.ReadProductMapJSON(bytes.NewReader(data)); err != nil {
+		return nil, fmt.Errorf("%s: %w", productsFile, err)
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}

@@ -1,0 +1,155 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"nvdclean/internal/cve"
+)
+
+// The delta log is a flat file of framed records:
+//
+//	[4-byte little-endian payload length]
+//	[4-byte little-endian CRC-32C of the payload]
+//	[payload: one cve.MarshalDelta document]
+//
+// Records are appended and fsynced one at a time; the file is never
+// rewritten in place. Recovery reads records until the first frame that
+// is torn (header or payload extends past EOF) or fails its checksum,
+// and truncates the file there — everything before the bad frame is a
+// committed delta, everything after is a casualty of the crash that
+// produced it.
+
+const (
+	walHeaderSize = 8
+	// walMaxRecord bounds a single record so a corrupted length field
+	// cannot make recovery attempt a multi-gigabyte read.
+	walMaxRecord = 1 << 30
+)
+
+var walTable = crc32.MakeTable(crc32.Castagnoli)
+
+// wal is an open delta log positioned for appending.
+type wal struct {
+	f       *os.File
+	path    string
+	records int
+	// off is the end offset of the last fully committed frame. A
+	// failed append truncates back to it; if even that fails the log
+	// is poisoned and refuses further appends, so a torn frame can
+	// never end up followed by acknowledged records that recovery
+	// would silently discard.
+	off      int64
+	poisoned bool
+}
+
+// openWAL opens (creating if absent) the delta log at path, replays
+// every committed record, truncates any torn or corrupt tail, and
+// leaves the file positioned for appending. It returns the decoded
+// deltas and a human-readable note when a tail was dropped.
+func openWAL(path string) (*wal, []*cve.Delta, string, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, "", fmt.Errorf("store: reading delta log: %w", err)
+	}
+
+	var (
+		deltas []*cve.Delta
+		off    int64
+		note   string
+	)
+	for int(off)+walHeaderSize <= len(data) {
+		h := data[off : off+walHeaderSize]
+		length := binary.LittleEndian.Uint32(h[0:4])
+		sum := binary.LittleEndian.Uint32(h[4:8])
+		if length > walMaxRecord || int(off)+walHeaderSize+int(length) > len(data) {
+			note = fmt.Sprintf("dropped torn record %d at offset %d", len(deltas), off)
+			break
+		}
+		payload := data[off+walHeaderSize : off+walHeaderSize+int64(length)]
+		if crc32.Checksum(payload, walTable) != sum {
+			note = fmt.Sprintf("dropped corrupt record %d at offset %d (checksum mismatch)", len(deltas), off)
+			break
+		}
+		d, err := cve.UnmarshalDelta(payload)
+		if err != nil {
+			note = fmt.Sprintf("dropped undecodable record %d at offset %d: %v", len(deltas), off, err)
+			break
+		}
+		deltas = append(deltas, d)
+		off += walHeaderSize + int64(length)
+	}
+	if int(off) < len(data) {
+		if note == "" {
+			note = fmt.Sprintf("dropped torn tail at offset %d", off)
+		}
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, nil, "", fmt.Errorf("store: truncating delta log tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, "", err
+	}
+	return &wal{f: f, path: path, records: len(deltas), off: off}, deltas, note, nil
+}
+
+// append frames, writes and fsyncs one delta record. The record is
+// durable once append returns; a failed append rolls the file back to
+// the previous committed frame (or poisons the log if it cannot).
+func (w *wal) append(d *cve.Delta) error {
+	if w.poisoned {
+		return fmt.Errorf("store: delta log poisoned by an earlier failed append; restart to recover")
+	}
+	payload, err := cve.MarshalDelta(d)
+	if err != nil {
+		return fmt.Errorf("store: encoding delta record: %w", err)
+	}
+	frame := make([]byte, walHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, walTable))
+	copy(frame[walHeaderSize:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		w.rollback()
+		return fmt.Errorf("store: appending delta record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.rollback()
+		return fmt.Errorf("store: syncing delta log: %w", err)
+	}
+	w.off += int64(len(frame))
+	w.records++
+	return nil
+}
+
+// rollback discards a torn frame after a failed append. If the file
+// cannot be restored to its last committed length, later appends must
+// not land after the garbage — recovery truncates at the first bad
+// frame and would silently drop them — so the log poisons itself.
+func (w *wal) rollback() {
+	if w.f.Truncate(w.off) != nil {
+		w.poisoned = true
+		return
+	}
+	if _, err := w.f.Seek(w.off, io.SeekStart); err != nil {
+		w.poisoned = true
+	}
+}
+
+func (w *wal) close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -13,6 +13,7 @@ import (
 	"nvdclean/internal/naming"
 	"nvdclean/internal/pipeline"
 	"nvdclean/internal/predict"
+	"nvdclean/internal/store"
 )
 
 // Artifact keys of the cleaning pipeline's stage graph. The seeded
@@ -428,6 +429,133 @@ func CleanDelta(ctx context.Context, prev *Result, delta *Delta, opts Options) (
 		ru.prevBackport = prev.Backport.Scores
 	}
 	return runClean(ctx, merged, opts, ru)
+}
+
+// StoreCheckpoint snapshots everything a persistent generation store
+// needs to rebuild this Result without re-running the pipeline: both
+// snapshots, the consolidation maps, the trained engine, and the
+// incremental-reuse state (dataset fingerprint, training signature,
+// per-entry crawl and CWE artifacts, backported scores). Backported
+// scores are materialized into the cleaned snapshot's PV3 extension
+// field first (idempotently), so the persisted cleaned feed carries
+// them under the codec's backportedV3 key.
+func (r *Result) StoreCheckpoint() *store.Checkpoint {
+	ApplyBackport(r.Cleaned, r.Backport)
+	st := &store.State{
+		Fingerprint: r.inc.fp,
+		Trained:     r.inc.trained,
+		Models:      r.inc.sig.models,
+		ModelConfig: r.inc.sig.cfg,
+		Seed:        r.inc.sig.seed,
+		CWEFix:      r.inc.cweFix,
+	}
+	if r.inc.crawl != nil {
+		st.Crawled = true
+		st.Crawl = make(map[string]store.CrawlArtifact, len(r.inc.crawl))
+		for id, a := range r.inc.crawl {
+			st.Crawl[id] = store.CrawlArtifact{Estimated: a.est, LagDays: a.lag, Stats: a.st}
+		}
+	}
+	if r.Backport != nil {
+		st.HasBackport = true
+		st.Backport = r.Backport.Scores
+	}
+	return &store.Checkpoint{
+		Original: r.Original,
+		Cleaned:  r.Cleaned,
+		Vendors:  r.VendorMap,
+		Products: r.ProductMap,
+		Engine:   r.Engine,
+		State:    st,
+	}
+}
+
+// RestoreResult reassembles a servable, delta-cleanable Result from a
+// persisted checkpoint without running any pipeline stage: snapshots
+// and maps load as stored, per-entry artifacts replay into the
+// disclosure/lag/CWE aggregates in snapshot order (so folds match a
+// from-scratch run bit for bit), and the reuse state rearms CleanDelta
+// — including the engine warm-start check, provided opts carries the
+// same model selection, training config and seed the checkpoint was
+// produced with. The pure-function naming memos are rebuilt lazily by
+// the next delta clean; starting them empty changes cost, never bits.
+func RestoreResult(cp *store.Checkpoint, opts Options) (*Result, error) {
+	if cp == nil || cp.Original == nil || cp.Cleaned == nil || cp.State == nil ||
+		cp.Vendors == nil || cp.Products == nil {
+		return nil, errors.New("nvdclean: incomplete checkpoint")
+	}
+	if cp.Original.Len() != cp.Cleaned.Len() {
+		return nil, fmt.Errorf("nvdclean: checkpoint snapshots disagree (%d original vs %d cleaned entries)",
+			cp.Original.Len(), cp.Cleaned.Len())
+	}
+	res := &Result{
+		Original:            cp.Original,
+		Cleaned:             cp.Cleaned,
+		EstimatedDisclosure: make(map[string]time.Time),
+		LagDays:             make(map[string]int),
+		VendorMap:           cp.Vendors,
+		VendorChanged:       make(map[string]bool),
+		ProductMap:          cp.Products,
+		ProductChanged:      make(map[string]bool),
+		Engine:              cp.Engine,
+	}
+	st := &incState{
+		lcs:     naming.NewLCSCache(),
+		prods:   naming.NewProductCache(),
+		cweFix:  cp.State.CWEFix,
+		fp:      cp.State.Fingerprint,
+		sig:     trainSig{models: cp.State.Models, cfg: cp.State.ModelConfig, seed: cp.State.Seed},
+		trained: cp.State.Trained,
+	}
+	if st.cweFix == nil {
+		st.cweFix = make(map[string]predict.EntryCorrection)
+	}
+	res.inc = st
+
+	if cp.State.Crawled {
+		st.crawl = make(map[string]crawlArtifact, len(cp.State.Crawl))
+		for id, a := range cp.State.Crawl {
+			st.crawl[id] = crawlArtifact{est: a.Estimated, lag: a.LagDays, st: a.Stats}
+		}
+		perEntry := make([]crawler.Stats, len(cp.Original.Entries))
+		for i, e := range cp.Original.Entries {
+			a := st.crawl[e.ID]
+			res.EstimatedDisclosure[e.ID] = a.est
+			res.LagDays[e.ID] = a.lag
+			perEntry[i] = a.st
+		}
+		res.CrawlStats = crawler.FoldStats(opts.Concurrency, perEntry)
+	}
+	if cp.State.HasBackport {
+		scores := cp.State.Backport
+		if scores == nil {
+			scores = make(map[string]float64)
+		}
+		res.Backport = &predict.Backport{Scores: scores}
+	}
+
+	// The changed-entry flags are pure functions of the original names
+	// and the maps: a vendor flag records any remapped vendor name, a
+	// product flag a remapped product under its consolidated vendor —
+	// exactly what the naming stages computed before applying the maps.
+	for _, e := range cp.Original.Entries {
+		for _, n := range e.CPEs {
+			if res.VendorMap.Mapped(n.Vendor) {
+				res.VendorChanged[e.ID] = true
+			}
+			cv := res.VendorMap.Canonical(n.Vendor)
+			if res.ProductMap.Canonical(cv, n.Product) != n.Product {
+				res.ProductChanged[e.ID] = true
+			}
+		}
+	}
+
+	cor := &predict.CWECorrection{}
+	for _, e := range cp.Original.Entries {
+		cor.Record(st.cweFix[e.ID])
+	}
+	res.CWECorrection = cor
+	return res, nil
 }
 
 // ApplyBackport materializes backported severity scores into the
