@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"nvdclean"
+	"nvdclean/internal/store"
+)
+
+// Exercises concurrent GET /query during a POST /feed that triggers
+// compaction (StoreCheckpoint -> ApplyBackport on the serving snapshot).
+func TestRaceCompactionVsQuery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := nvdclean.SmallScale()
+	cfg.NumCVEs = 120
+	cfg.NumVendors = 30
+	snap, truth, err := nvdclean.GenerateSnapshot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := nvdclean.Options{Transport: nvdclean.NewWebCorpus(snap, truth.Disclosure).Transport(), Seed: 1}
+	srv := newServer(opts)
+	st, _, _, _, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.persist = st
+	srv.compactEvery = 1
+	if err := srv.load(t.Context(), snap); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// Build a feed body that modifies one entry.
+	mod := snap.Clone()
+	mod.Entries[0].Descriptions[0].Value += " updated"
+	var buf bytes.Buffer
+	if err := nvdclean.WriteFeed(&buf, &nvdclean.Snapshot{CapturedAt: mod.CapturedAt, Entries: mod.Entries[:1]}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := ts.Client().Get(ts.URL + "/query?severity=HIGH")
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	resp, err := ts.Client().Post(ts.URL+"/feed", "application/json", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("feed status:", resp.StatusCode)
+	resp.Body.Close()
+	close(stop)
+	wg.Wait()
+}
