@@ -59,16 +59,17 @@ func main() {
 		seed         = flag.Int64("seed", 1, "dataset split and weight-init seed")
 		dataDir      = flag.String("data-dir", "", "persistent generation store directory (empty: in-memory only)")
 		compactEvery = flag.Int("compact-every", 8, "fold the delta log into a fresh checkpoint after this many records (0: never)")
+		compactSync  = flag.Bool("compact-sync", false, "write compaction checkpoints inside POST /feed instead of a background committer")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *feedPath, *demoScale, *crawl, *concurrency, *models, *epochs, *compact, *seed, *dataDir, *compactEvery); err != nil {
+	if err := run(*addr, *feedPath, *demoScale, *crawl, *concurrency, *models, *epochs, *compact, *seed, *dataDir, *compactEvery, *compactSync); err != nil {
 		fmt.Fprintf(os.Stderr, "nvdserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, feedPath, demoScale string, crawl bool, concurrency int, models string, epochs int, compact bool, seed int64, dataDir string, compactEvery int) error {
+func run(addr, feedPath, demoScale string, crawl bool, concurrency int, models string, epochs int, compact bool, seed int64, dataDir string, compactEvery int, compactSync bool) error {
 	kinds, err := parseModels(models)
 	if err != nil {
 		return err
@@ -150,6 +151,13 @@ func run(addr, feedPath, demoScale string, crawl bool, concurrency int, models s
 	srv := newServer(opts)
 	srv.persist = persist
 	srv.compactEvery = compactEvery
+	if persist != nil && !compactSync {
+		// Background compaction: POST /feed seals the delta log and
+		// enqueues the checkpoint; the committer pays the write. Closed
+		// (draining any in-flight commit) before the store closes.
+		srv.committer = store.NewCommitter(persist)
+		defer srv.committer.Close()
+	}
 
 	if cp != nil {
 		start := time.Now()

@@ -18,6 +18,7 @@ import (
 	"nvdclean"
 	"nvdclean/internal/gen"
 	"nvdclean/internal/predict"
+	"nvdclean/internal/store"
 )
 
 // demoServer builds an in-process server over a tiny synthetic
@@ -118,6 +119,17 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if code := getJSON(t, ts, "/query?offset=-1", &bad); code != http.StatusBadRequest {
 		t.Errorf("negative offset = %d, want 400", code)
+	}
+
+	// The page size is capped: a client cannot size the response
+	// window arbitrarily, and the 400 reports the cap.
+	if code := getJSON(t, ts, "/query?limit=1000000000", &bad); code != http.StatusBadRequest {
+		t.Errorf("unbounded limit = %d, want 400", code)
+	} else if !strings.Contains(bad["error"].(string), "1000") {
+		t.Errorf("limit cap not reported: %v", bad["error"])
+	}
+	if code := getJSON(t, ts, "/query?limit=1000", &q); code != http.StatusOK {
+		t.Errorf("limit at the cap = %d, want 200", code)
 	}
 
 	// limit/offset paginate one stable ordering: page 2 picks up
@@ -246,6 +258,74 @@ func TestServerFeedUpdate(t *testing.T) {
 	resp.Body.Close()
 	if int(summary["changed"].(float64)) != 0 {
 		t.Errorf("idempotent repost changed %v entries", summary["changed"])
+	}
+}
+
+// TestQueryPaginationBeyondTotal pins the offset >= total edge: the
+// window is empty, the metadata intact, and the status 200 — paging
+// one past the last page is not an error.
+func TestQueryPaginationBeyondTotal(t *testing.T) {
+	srv, _ := demoServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	var all struct {
+		Total   int   `json:"total"`
+		Results []any `json:"results"`
+	}
+	if code := getJSON(t, ts, "/query?limit=1", &all); code != http.StatusOK || all.Total == 0 {
+		t.Fatalf("/query = %d total=%d", code, all.Total)
+	}
+	for _, offset := range []int{all.Total, all.Total + 1, all.Total + 100000} {
+		var page struct {
+			Total   int   `json:"total"`
+			Offset  int   `json:"offset"`
+			Results []any `json:"results"`
+		}
+		path := fmt.Sprintf("/query?limit=5&offset=%d", offset)
+		if code := getJSON(t, ts, path, &page); code != http.StatusOK {
+			t.Fatalf("%s = %d, want 200", path, code)
+		}
+		if len(page.Results) != 0 || page.Total != all.Total || page.Offset != offset {
+			t.Errorf("%s: results=%d total=%d offset=%d", path, len(page.Results), page.Total, page.Offset)
+		}
+	}
+}
+
+// TestLoadCommitFailure pins the boot ordering fix: when the initial
+// checkpoint commit fails, load must surface the error without
+// installing the generation — a server that reports a failed boot must
+// not quietly serve an uncheckpointed view.
+func TestLoadCommitFailure(t *testing.T) {
+	snap, truth, err := nvdclean.GenerateSnapshot(gen.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := nvdclean.Options{
+		Transport:   nvdclean.NewWebCorpus(snap, truth.Disclosure).Transport(),
+		Models:      []predict.ModelKind{predict.ModelLR},
+		ModelConfig: predict.ModelConfig{Seed: 1},
+		Seed:        1,
+	}
+	dir := filepath.Join(t.TempDir(), "data")
+	str, _, _, _, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(opts)
+	srv.persist = str
+	// Sabotage the store directory so the checkpoint write must fail.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.load(context.Background(), snap); err == nil {
+		t.Fatal("load succeeded with an uncommittable store")
+	}
+	if srv.cur.Load() != nil {
+		t.Fatal("failed boot commit left the server serving a generation")
 	}
 }
 

@@ -134,9 +134,10 @@ func feedUpdate(t *testing.T, snap *nvdclean.Snapshot) *nvdclean.Snapshot {
 }
 
 // TestWarmRestartEquivalence is the persistence acceptance test: a
-// server restored from -data-dir state (checkpoint + delta log, no
-// pipeline run, different concurrency) must serve a view bit-identical
-// to a cold full Clean of the merged feed.
+// server restored from -data-dir state (checkpoint + a delta log
+// spanning two sealed segments plus the active one, no pipeline run,
+// different concurrency) must serve a view bit-identical to a cold
+// full Clean of the merged feed.
 func TestWarmRestartEquivalence(t *testing.T) {
 	snap, truth, err := nvdclean.GenerateSnapshot(gen.TinyConfig())
 	if err != nil {
@@ -153,8 +154,10 @@ func TestWarmRestartEquivalence(t *testing.T) {
 	ctx := context.Background()
 	dir := t.TempDir()
 
-	// Cold server with persistence: full clean, checkpoint commit, one
-	// POSTed delta appended to the log.
+	// Cold server with persistence: full clean, checkpoint commit,
+	// then three POSTed deltas spread across the segmented log — two
+	// segments sealed (as the compaction path would leave them with
+	// their background commits never run) and one active.
 	str1, cp0, _, _, err := store.Open(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -164,26 +167,46 @@ func TestWarmRestartEquivalence(t *testing.T) {
 	}
 	srv1 := newServer(opts)
 	srv1.persist = str1
-	srv1.compactEvery = 1000 // keep the delta in the log, not a checkpoint
+	srv1.compactEvery = 1000 // keep the deltas in the log, not a checkpoint
 	if err := srv1.load(ctx, snap); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv1.handler())
-	postFeed(t, ts, feedUpdate(t, snap))
+	update := feedUpdate(t, snap)
+	postFeed(t, ts, update)
+	if _, err := str1.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	second := &nvdclean.Snapshot{CapturedAt: update.CapturedAt.Add(time.Hour)}
+	again := update.Entries[0].Clone()
+	again.Descriptions[0].Value += " Patched."
+	second.Entries = []*nvdclean.Entry{again}
+	postFeed(t, ts, second)
+	if _, err := str1.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	third := &nvdclean.Snapshot{CapturedAt: update.CapturedAt.Add(2 * time.Hour)}
+	once := update.Entries[1].Clone()
+	once.Descriptions[0].Value += " Regression confirmed."
+	third.Entries = []*nvdclean.Entry{once}
+	postFeed(t, ts, third)
 	ts.Close()
 	merged := srv1.cur.Load().res.Original
 	if err := str1.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	// Warm restart: restore checkpoint, replay the log — no Clean.
+	// Warm restart: restore checkpoint, replay the segments — no Clean.
 	str2, cp, logged, notes, err := store.Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer str2.Close()
-	if cp == nil || len(logged) != 1 {
+	if cp == nil || len(logged) != 3 {
 		t.Fatalf("reopen: checkpoint=%v deltas=%d notes=%v", cp != nil, len(logged), notes)
+	}
+	if str2.SealedSegments() != 2 || str2.ActiveRecords() != 1 {
+		t.Fatalf("reopened log shape: sealed=%d active=%d, want 2/1", str2.SealedSegments(), str2.ActiveRecords())
 	}
 	warmOpts := opts
 	warmOpts.Concurrency = 3 // concurrency is a wall-clock knob, never bits

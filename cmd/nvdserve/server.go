@@ -49,10 +49,14 @@ type server struct {
 	// feedMu serializes POST /feed pipelines; reads are lock-free.
 	feedMu sync.Mutex
 	// persist is the generation store; nil runs in-memory only.
-	// compactEvery folds the delta log into a fresh checkpoint after
-	// that many logged deltas.
+	// compactEvery seals the active delta-log segment after that many
+	// records and folds the sealed generation into a fresh checkpoint.
 	persist      *store.Store
 	compactEvery int
+	// committer runs compaction checkpoints off the ingest path; when
+	// nil (-compact-sync, or no store) the handler pays the checkpoint
+	// write inline, the pre-commit-queue behavior.
+	committer *store.Committer
 }
 
 func newServer(opts nvdclean.Options) *server {
@@ -61,7 +65,9 @@ func newServer(opts nvdclean.Options) *server {
 
 // load runs the full pipeline on snap and installs the result as the
 // current generation, committing a checkpoint when a store is
-// attached.
+// attached. The commit happens before the install: a boot whose
+// checkpoint fails must surface the error without leaving the server
+// serving a generation the store never recorded.
 func (s *server) load(ctx context.Context, snap *nvdclean.Snapshot) error {
 	start := time.Now()
 	res, err := nvdclean.Clean(ctx, snap, s.opts)
@@ -72,12 +78,13 @@ func (s *server) load(ctx context.Context, snap *nvdclean.Snapshot) error {
 	if prev := s.cur.Load(); prev != nil {
 		gen = prev.generation + 1
 	}
-	s.cur.Store(s.newState(res, nil, time.Since(start), gen, false, false))
+	st := s.newState(res, nil, time.Since(start), gen, false, false)
 	if s.persist != nil {
 		if err := s.persist.Commit(res.StoreCheckpoint()); err != nil {
 			return fmt.Errorf("committing checkpoint: %w", err)
 		}
 	}
+	s.cur.Store(st)
 	return nil
 }
 
@@ -254,6 +261,11 @@ type queryParams struct {
 	limit, offset   int
 }
 
+// maxQueryLimit caps the /query page size: an arbitrary client-chosen
+// limit would size the response window (and the JSON the server
+// renders) from attacker input.
+const maxQueryLimit = 1000
+
 // parseQueryParams validates a /query parameter set strictly: unknown
 // parameters are an error (a typoed filter silently matching
 // everything is worse than a 400), and every value must parse.
@@ -292,6 +304,9 @@ func parseQueryParams(values url.Values) (queryParams, error) {
 		var err error
 		if p.limit, err = strconv.Atoi(l); err != nil || p.limit < 1 {
 			return p, fmt.Errorf("bad limit %q", l)
+		}
+		if p.limit > maxQueryLimit {
+			return p, fmt.Errorf("limit %d exceeds the maximum %d", p.limit, maxQueryLimit)
 		}
 	}
 	if o := values.Get("offset"); o != "" {
@@ -468,10 +483,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		stats["warmRestart"] = true
 	}
 	if s.persist != nil {
-		stats["store"] = map[string]any{
-			"generation": s.persist.Generation(),
-			"logRecords": s.persist.LogRecords(),
+		storeStats := map[string]any{
+			"generation":     s.persist.Generation(),
+			"logRecords":     s.persist.LogRecords(),
+			"activeRecords":  s.persist.ActiveRecords(),
+			"sealedSegments": s.persist.SealedSegments(),
 		}
+		if s.committer != nil {
+			storeStats["commitQueue"] = s.committer.Stats()
+		}
+		stats["store"] = storeStats
 	}
 	if res.CrawlStats.URLs > 0 {
 		stats["crawl"] = map[string]any{
@@ -557,6 +578,7 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.maybeCompact(res, summary)
 	s.cur.Store(next)
 
 	summary["changed"] = delta.Size()
@@ -564,18 +586,38 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	summary["cleanMillis"] = dur.Milliseconds()
 	summary["engineWarmStart"] = warm
 	summary["generation"] = next.generation
-
-	// Compaction: once enough deltas accumulate in the log, fold the
-	// serving generation into a fresh checkpoint so the next restart
-	// replays a short log instead of a long one.
-	if s.persist != nil && s.compactEvery > 0 && s.persist.LogRecords() >= s.compactEvery {
-		if err := s.persist.Commit(res.StoreCheckpoint()); err != nil {
-			summary["compactionError"] = err.Error()
-		} else {
-			summary["compacted"] = true
-		}
-	}
 	writeJSON(w, http.StatusOK, summary)
+}
+
+// maybeCompact folds the delta log down once enough records accumulate
+// in the active segment: it seals the segment (O(1)) and hands a
+// checkpoint of the sealed generation to the background committer, so
+// the handler never pays the checkpoint write. The checkpoint document
+// is assembled here — before the generation swap, while no reader can
+// hold res — because StoreCheckpoint materializes backported scores
+// into the cleaned snapshot; only the disk write leaves the handler.
+// With -compact-sync (or no committer) the commit runs inline, the
+// pre-commit-queue behavior.
+func (s *server) maybeCompact(res *nvdclean.Result, summary map[string]any) {
+	if s.persist == nil || s.compactEvery <= 0 || s.persist.ActiveRecords() < s.compactEvery {
+		return
+	}
+	cp := res.StoreCheckpoint()
+	seq, err := s.persist.Seal()
+	if err != nil {
+		summary["compactionError"] = err.Error()
+		return
+	}
+	if s.committer != nil {
+		s.committer.Enqueue(cp, seq)
+		summary["compactionQueued"] = true
+		return
+	}
+	if err := s.persist.CommitSealed(cp, seq); err != nil {
+		summary["compactionError"] = err.Error()
+	} else {
+		summary["compacted"] = true
+	}
 }
 
 // upsertDelta builds the delta for a partial feed: posted entries are

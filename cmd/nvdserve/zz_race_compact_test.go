@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"nvdclean"
+	"nvdclean/internal/predict"
 	"nvdclean/internal/store"
 )
 
@@ -22,7 +25,15 @@ func TestRaceCompactionVsQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := nvdclean.Options{Transport: nvdclean.NewWebCorpus(snap, truth.Disclosure).Transport(), Seed: 1}
+	// LR-only: the race surface (compaction vs lock-free readers) does
+	// not depend on which models train, and the full zoo under the
+	// race detector is minutes of training on a small host.
+	opts := nvdclean.Options{
+		Transport:   nvdclean.NewWebCorpus(snap, truth.Disclosure).Transport(),
+		Models:      []predict.ModelKind{predict.ModelLR},
+		ModelConfig: predict.ModelConfig{Seed: 1},
+		Seed:        1,
+	}
 	srv := newServer(opts)
 	st, _, _, _, err := store.Open(dir)
 	if err != nil {
@@ -71,4 +82,124 @@ func TestRaceCompactionVsQuery(t *testing.T) {
 	resp.Body.Close()
 	close(stop)
 	wg.Wait()
+}
+
+// TestRaceFeedDuringBackgroundCommit is the commit-queue stress test:
+// every POST /feed trips compaction (compactEvery=1), so each ingest
+// seals a segment and enqueues a checkpoint while the previous
+// background commit may still be writing — all under concurrent /query
+// and /stats readers. Afterwards the store must reopen to exactly the
+// serving view: whatever mix of committed checkpoints and live
+// segments the race left behind, no acknowledged delta is lost.
+func TestRaceFeedDuringBackgroundCommit(t *testing.T) {
+	dir := t.TempDir()
+	cfg := nvdclean.SmallScale()
+	cfg.NumCVEs = 120
+	cfg.NumVendors = 30
+	snap, truth, err := nvdclean.GenerateSnapshot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := nvdclean.Options{
+		Transport:   nvdclean.NewWebCorpus(snap, truth.Disclosure).Transport(),
+		Models:      []predict.ModelKind{predict.ModelLR},
+		ModelConfig: predict.ModelConfig{Seed: 1},
+		Seed:        1,
+	}
+	srv := newServer(opts)
+	st, _, _, _, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.persist = st
+	srv.compactEvery = 1
+	srv.committer = store.NewCommitter(st)
+	if err := srv.load(t.Context(), snap); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/query?severity=HIGH", "/stats"} {
+					if resp, err := ts.Client().Get(ts.URL + path); err == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+	}
+
+	// Sequential ingests, each modifying one entry: every one seals
+	// and enqueues while the committer races the successor appends.
+	const posts = 5
+	for i := 0; i < posts; i++ {
+		mod := snap.Entries[i%3].Clone()
+		mod.Descriptions[0].Value += fmt.Sprintf(" race update %d", i)
+		body := &nvdclean.Snapshot{CapturedAt: snap.CapturedAt.Add(time.Duration(i+1) * time.Hour), Entries: []*nvdclean.Entry{mod}}
+		var buf bytes.Buffer
+		if err := nvdclean.WriteFeed(&buf, body); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Post(ts.URL+"/feed", "application/json", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("POST /feed %d = %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	close(stop)
+	wg.Wait()
+
+	// Drain the queue (Close waits for an in-flight commit) and prove
+	// the store reopens to the serving view: restored checkpoint plus
+	// replayed segments == what the server was serving when it stopped.
+	srv.committer.Close()
+	want := srv.cur.Load().res
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, cp, logged, notes, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if cp == nil {
+		t.Fatalf("no checkpoint after %d compacting ingests (notes %v)", posts, notes)
+	}
+	res, err := nvdclean.RestoreResult(cp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := res.Original
+	for _, d := range logged {
+		cur = cur.ApplyDelta(d)
+	}
+	if total := nvdclean.Diff(res.Original, cur); !total.Empty() {
+		if res, err = nvdclean.CleanDelta(context.Background(), res, total, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res.Cleaned.Len() != want.Cleaned.Len() {
+		t.Fatalf("restored %d entries, want %d", res.Cleaned.Len(), want.Cleaned.Len())
+	}
+	nvdclean.ApplyBackport(res.Cleaned, res.Backport)
+	for i, e := range want.Cleaned.Entries {
+		if !e.Equal(res.Cleaned.Entries[i]) {
+			t.Fatalf("restored entry %d (%s) differs from the serving view", i, e.ID)
+		}
+	}
 }

@@ -54,19 +54,26 @@ type key struct {
 
 // shardOf places a key by FNV-1a hash. The hash is seedless so shard
 // placement is identical across processes and runs; nothing persists
-// shard numbers, but stable placement keeps update/build comparisons
-// in the invariant tests exact.
+// shard numbers (which is also why changing the fold is safe across
+// versions), but stable placement keeps update/build comparisons in
+// the invariant tests exact.
 func shardOf(k key) int {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
+		// keySep separates the a and b fields in the fold. Folding a
+		// byte that cannot occur in either field keeps pair keys with
+		// shifted boundaries — ("ab","c") vs ("a","bc") — in distinct
+		// hash streams; XOR-ing 0 here would make them collide onto
+		// the same shard.
+		keySep = 0x1f
 	)
 	h := uint64(offset64)
 	h = (h ^ uint64(k.kind)) * prime64
 	for i := 0; i < len(k.a); i++ {
 		h = (h ^ uint64(k.a[i])) * prime64
 	}
-	h = (h ^ 0) * prime64
+	h = (h ^ keySep) * prime64
 	for i := 0; i < len(k.b); i++ {
 		h = (h ^ uint64(k.b[i])) * prime64
 	}

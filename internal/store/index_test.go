@@ -200,6 +200,74 @@ func TestIndexUpdate(t *testing.T) {
 	}
 }
 
+// TestShardBoundarySeparation is the regression test for the shardOf
+// field separator: pair keys whose concatenated bytes are equal but
+// whose a/b boundary differs must not all collapse onto one shard —
+// the old fold XOR-ed a zero byte between the fields, which mixes no
+// boundary information into the low bits the shard number is taken
+// from.
+func TestShardBoundarySeparation(t *testing.T) {
+	// The issue's canonical pair.
+	if a, b := shardOf(key{kind: keyPair, a: "ab", b: "c"}), shardOf(key{kind: keyPair, a: "a", b: "bc"}); a == b {
+		t.Errorf(`shardOf("ab","c") == shardOf("a","bc") == %d: boundary not folded`, a)
+	}
+	// Every split family of a word: at least two distinct shards per
+	// family (a 16-way hash may still collide individual pairs).
+	words := []string{"linuxkernel", "microsoftoffice", "redhatenterprise", "acmeanvil", "initechtps"}
+	for _, w := range words {
+		shards := make(map[int]bool)
+		for cut := 1; cut < len(w); cut++ {
+			shards[shardOf(key{kind: keyPair, a: w[:cut], b: w[cut:]})] = true
+		}
+		if len(shards) < 2 {
+			t.Errorf("all %d boundary splits of %q land on one shard", len(w)-1, w)
+		}
+	}
+	// An empty b must differ from the whole string in a (the other
+	// degenerate boundary).
+	if a, b := shardOf(key{kind: keyVendor, a: "abc"}), shardOf(key{kind: keyPair, a: "abc", b: ""}); a == b {
+		// Different kinds already separate these; this guards the
+		// fold's shape if kinds ever merge.
+		t.Logf("vendor(abc) and pair(abc,\"\") share shard %d (allowed: kind byte separates them)", a)
+	}
+}
+
+// TestShardDistribution is the distribution sanity check: a realistic
+// key population must spread across every shard without pathological
+// skew.
+func TestShardDistribution(t *testing.T) {
+	var counts [numShards]int
+	n := 0
+	add := func(k key) {
+		counts[shardOf(k)]++
+		n++
+	}
+	for i := 0; i < 40; i++ {
+		vendor := fmt.Sprintf("vendor%02d", i)
+		add(key{kind: keyVendor, a: vendor})
+		for j := 0; j < 12; j++ {
+			product := fmt.Sprintf("product%02d", j)
+			add(key{kind: keyProduct, a: product})
+			add(key{kind: keyPair, a: vendor, b: product})
+		}
+	}
+	for y := 1999; y < 2026; y++ {
+		add(key{kind: keyYear, a: fmt.Sprint(y)})
+	}
+	for c := 1; c < 1000; c += 7 {
+		add(key{kind: keyCWE, a: fmt.Sprintf("CWE-%d", c)})
+	}
+	mean := n / numShards
+	for s, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d received no keys (n=%d)", s, n)
+		}
+		if c > 4*mean {
+			t.Errorf("shard %d holds %d of %d keys (>4x the mean %d)", s, c, n, mean)
+		}
+	}
+}
+
 func TestInsertRemoveID(t *testing.T) {
 	var list []string
 	for _, seq := range []int{5, 1, 9, 3, 5} {

@@ -6,7 +6,7 @@
 //
 //	CURRENT          the name of the committed checkpoint directory
 //	gen-NNNNNN/      one full checkpoint (see below)
-//	wal-NNNNNN.log   CRC-framed delta records applied since gen-NNNNNN
+//	log-NNNNNN       one delta-log segment of CRC-framed records
 //
 // A checkpoint directory contains the original and cleaned snapshots in
 // NVD JSON 1.1 feed form (the cleaned feed carries the backportedV3
@@ -15,16 +15,29 @@
 // per-entry crawl and CWE artifacts, backported scores) that lets a
 // restart rebuild a delta-cleanable Result without re-running the
 // pipeline. MANIFEST.json closes the checkpoint with per-file CRC-32C
-// sums and is written last.
+// sums — and the walSeq watermark naming the highest log segment the
+// checkpoint already folds in — and is written last.
 //
-// Commit writes the next checkpoint into a gen-NNNNNN.tmp directory,
+// The delta log is segmented (wal.go): appends go to the active
+// segment, Seal closes it and opens a successor, and CommitSealed
+// writes a checkpoint covering every record at or below the sealed
+// seq. Sealing is what lets the checkpoint write leave the ingest hot
+// path: the committer serializes the sealed generation in the
+// background while new deltas append to the successor segment, and
+// durability never weakens because every acknowledged delta is fsynced
+// in some live segment before CURRENT swaps.
+//
+// A commit writes the next checkpoint into a gen-NNNNNN.tmp directory,
 // fsyncs it, renames it into place, and only then swaps CURRENT (also
-// via rename) — the CURRENT swap is the commit point. A crash at any
-// step leaves either the old generation fully intact (tmp directories
-// and orphaned gen directories are swept on open) or the new one fully
-// committed. The delta log recovers independently by truncating its
-// torn tail, so the store always reopens at the last committed
-// generation plus every durable delta.
+// via rename) — the CURRENT swap is the commit point. Segments at or
+// below the checkpoint's walSeq are retired only after the swap. A
+// crash at any step leaves either the old generation fully intact (tmp
+// directories and orphaned gen directories are swept on open, and
+// every segment is still on disk) or the new one fully committed
+// (straggler segments at or below its walSeq are skipped and swept).
+// The delta log recovers independently by truncating the last
+// segment's torn tail, so the store always reopens at the last
+// committed generation plus every durable delta.
 package store
 
 import (
@@ -98,15 +111,19 @@ type State struct {
 
 // Checkpoint is one full generation as persisted: both snapshots, the
 // consolidation maps, the trained engine (nil when the severity stage
-// did not run) and the reuse state.
+// did not run) and the reuse state. Generation and Seq are filled by
+// the store on load; callers building a checkpoint leave them zero.
 type Checkpoint struct {
 	Generation uint64
-	Original   *cve.Snapshot
-	Cleaned    *cve.Snapshot
-	Vendors    *naming.Map
-	Products   *naming.ProductMap
-	Engine     *predict.Engine
-	State      *State
+	// Seq is the walSeq watermark: the highest delta-log segment this
+	// checkpoint folds in. Recovery replays only segments above it.
+	Seq      uint64
+	Original *cve.Snapshot
+	Cleaned  *cve.Snapshot
+	Vendors  *naming.Map
+	Products *naming.ProductMap
+	Engine   *predict.Engine
+	State    *State
 }
 
 // manifest closes a checkpoint directory: it is written last, so its
@@ -114,6 +131,7 @@ type Checkpoint struct {
 type manifest struct {
 	Kind       string             `json:"kind"`
 	Generation uint64             `json:"generation"`
+	Seq        uint64             `json:"walSeq"`
 	Files      map[string]fileSum `json:"files"`
 }
 
@@ -124,23 +142,33 @@ type fileSum struct {
 
 const manifestKind = "nvdstore-checkpoint"
 
-// Store is an open generation store. Writers must be serialized
-// (nvdserve does so behind its feed mutex); the counter accessors
-// Generation and LogRecords may be called concurrently with a writer.
+// Store is an open generation store. Log writers (AppendDelta, Seal)
+// must be serialized (nvdserve does so behind its feed mutex), but a
+// single CommitSealed may run concurrently with them — that is the
+// background-compaction contract: the committer writes the sealed
+// generation's checkpoint while new deltas append to the successor
+// segment. The counter accessors may be called concurrently with
+// everything.
 type Store struct {
 	dir string
-	// mu guards gen and wal against concurrent counter reads; the
+	// mu guards the generation counters, the sealed-segment list and
+	// the active-segment pointer against concurrent reads; the log
 	// write path itself is externally serialized.
-	mu  sync.Mutex
-	gen uint64
-	wal *wal
+	mu     sync.Mutex
+	gen    uint64
+	genSeq uint64
+	sealed []sealedSeg
+	active *wal
+	// commitMu serializes checkpoint commits (the boot-path Commit
+	// against a background CommitSealed).
+	commitMu sync.Mutex
 }
 
 // Open opens (creating if needed) the store at dir and recovers it to
 // the last committed generation: the newest valid checkpoint plus every
-// durable delta-log record. It returns a nil Checkpoint when the store
-// is empty (cold boot), and human-readable notes for anything recovery
-// had to repair or discard.
+// durable delta-log record, replayed across segments in order. It
+// returns a nil Checkpoint when the store is empty (cold boot), and
+// human-readable notes for anything recovery had to repair or discard.
 func Open(dir string) (*Store, *Checkpoint, []*cve.Delta, []string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, nil, nil, err
@@ -154,21 +182,48 @@ func Open(dir string) (*Store, *Checkpoint, []*cve.Delta, []string, error) {
 	s := &Store{dir: dir}
 	if cp != nil {
 		s.gen = cp.Generation
+		s.genSeq = cp.Seq
 	}
-	sweepStale(dir, s.gen, &notes)
+	migrateLegacyWAL(dir, s.gen, s.genSeq, &notes)
+	sweepStale(dir, s.gen, s.genSeq, &notes)
 	if cp == nil {
 		return s, nil, nil, notes, nil
 	}
 
-	w, deltas, note, err := openWAL(s.walPath(s.gen))
+	active, sealed, deltas, segNotes, err := replaySegments(dir, s.genSeq)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	if note != "" {
-		notes = append(notes, "delta log: "+note)
-	}
-	s.wal = w
+	notes = append(notes, segNotes...)
+	s.active = active
+	s.sealed = sealed
 	return s, cp, deltas, notes, nil
+}
+
+// migrateLegacyWAL adopts a pre-segmentation wal-NNNNNN.log belonging
+// to the recovered generation as the first live segment: the frame
+// format is unchanged, so a rename is a complete migration. When the
+// file cannot be adopted (rename failure, or segments already exist —
+// an ambiguous mix no upgrade path produces), it is left in place and
+// noted; sweepStale preserves the current generation's legacy log, so
+// acknowledged records are never silently discarded.
+func migrateLegacyWAL(dir string, gen, genSeq uint64, notes *[]string) {
+	if gen == 0 {
+		return
+	}
+	legacy := filepath.Join(dir, fmt.Sprintf("wal-%06d.log", gen))
+	if _, err := os.Stat(legacy); err != nil {
+		return
+	}
+	if len(segmentSeqs(dir)) > 0 {
+		*notes = append(*notes, fmt.Sprintf("ignoring legacy delta log wal-%06d.log (segments already present)", gen))
+		return
+	}
+	if err := os.Rename(legacy, filepath.Join(dir, segmentName(genSeq+1))); err != nil {
+		*notes = append(*notes, fmt.Sprintf("legacy delta log not migrated: %v", err))
+		return
+	}
+	*notes = append(*notes, fmt.Sprintf("migrated legacy delta log to segment %s", segmentName(genSeq+1)))
 }
 
 // pickCheckpoint loads the generation CURRENT names, falling back to
@@ -200,9 +255,14 @@ func pickCheckpoint(dir string, notes *[]string) (*Checkpoint, error) {
 }
 
 // sweepStale removes interrupted commits (gen-*.tmp), checkpoint
-// directories other than the recovered generation, and delta logs that
-// no longer belong to any generation.
-func sweepStale(dir string, gen uint64, notes *[]string) {
+// directories other than the recovered generation, legacy single-file
+// delta logs of retired generations (the current generation's, if one
+// somehow survived migration, still holds acknowledged records and is
+// preserved), segments the committed checkpoint already folds in
+// (walSeq and below — stragglers of a crash between the CURRENT swap
+// and retirement), and, on a cold recovery with no checkpoint at all,
+// every segment (deltas are unusable without their base generation).
+func sweepStale(dir string, gen, genSeq uint64, notes *[]string) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return
@@ -219,6 +279,10 @@ func sweepStale(dir string, gen uint64, notes *[]string) {
 			stale = true
 		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log") && name != keepWAL:
 			stale = true
+		default:
+			if seq, ok := segmentSeq(name); ok && (gen == 0 || seq <= genSeq) {
+				stale = true
+			}
 		}
 		if stale {
 			if err := os.RemoveAll(filepath.Join(dir, name)); err == nil {
@@ -247,10 +311,6 @@ func genDirs(dir string) []string {
 
 func genName(gen uint64) string { return fmt.Sprintf("gen-%06d", gen) }
 
-func (s *Store) walPath(gen uint64) string {
-	return filepath.Join(s.dir, fmt.Sprintf("wal-%06d.log", gen))
-}
-
 // Generation returns the committed checkpoint generation (0 when the
 // store is empty).
 func (s *Store) Generation() uint64 {
@@ -260,40 +320,133 @@ func (s *Store) Generation() uint64 {
 }
 
 // LogRecords returns the number of delta records applied on top of the
-// committed checkpoint — the compaction trigger.
+// committed checkpoint, across every live segment (sealed segments
+// awaiting a background commit plus the active one).
 func (s *Store) LogRecords() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal == nil {
-		return 0
+	n := 0
+	for _, seg := range s.sealed {
+		n += seg.records
 	}
-	return s.wal.records
+	if s.active != nil {
+		n += s.active.records
+	}
+	return n
 }
 
-// AppendDelta makes one feed delta durable. It must be called before
-// the corresponding generation starts serving: a crash after the
-// append replays the delta on restart, a crash before it loses nothing
-// that was ever visible.
+// ActiveRecords returns the record count of the active segment alone —
+// the records accumulated since the last seal, which is the compaction
+// trigger.
+func (s *Store) ActiveRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return 0
+	}
+	return s.active.records
+}
+
+// SealedSegments returns the number of sealed segments awaiting
+// retirement by a checkpoint commit.
+func (s *Store) SealedSegments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sealed)
+}
+
+// AppendDelta makes one feed delta durable in the active segment. It
+// must be called before the corresponding generation starts serving: a
+// crash after the append replays the delta on restart, a crash before
+// it loses nothing that was ever visible.
 func (s *Store) AppendDelta(d *cve.Delta) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal == nil {
+	if s.active == nil {
 		return fmt.Errorf("store: no committed checkpoint to log deltas against")
 	}
-	return s.wal.append(d)
+	return s.active.append(d)
 }
 
-// Commit persists cp as the next generation: it writes a complete
-// checkpoint directory, atomically renames it into place, swaps
-// CURRENT, starts a fresh (empty) delta log and sweeps the previous
-// generation. Folding the serving Result into a Commit after enough
-// AppendDelta calls is the store's compaction.
+// Seal closes the active segment and opens its successor, returning
+// the sealed seq. Every record appended before Seal is fsynced in the
+// sealed segment; a checkpoint of the generation those records produce
+// can then be committed off the append path (CommitSealed), while new
+// deltas append to the successor. Seal itself is O(1) — one file
+// create plus a directory sync, never a checkpoint write.
+func (s *Store) Seal() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return 0, fmt.Errorf("store: no active segment to seal")
+	}
+	sealedSeq := s.active.seq
+	records := s.active.records
+	next, _, _, err := openSegment(filepath.Join(s.dir, segmentName(sealedSeq+1)), sealedSeq+1)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.active.close(); err != nil {
+		next.close()
+		return 0, fmt.Errorf("store: sealing segment %d: %w", sealedSeq, err)
+	}
+	s.sealed = append(s.sealed, sealedSeg{seq: sealedSeq, records: records})
+	s.active = next
+	// Persist the successor's directory entry so a crash cannot lose
+	// the (empty) segment the next append lands in.
+	if err := syncDir(s.dir); err != nil {
+		return 0, err
+	}
+	return sealedSeq, nil
+}
+
+// Commit synchronously persists cp as the next generation, folding in
+// every delta logged so far: it seals the active segment (when one
+// exists) and runs CommitSealed inline. This is the boot path and the
+// -compact-sync escape hatch; the non-blocking ingest path calls Seal
+// and hands CommitSealed to a background Committer instead.
 func (s *Store) Commit(cp *Checkpoint) error {
+	s.mu.Lock()
+	hasActive := s.active != nil
+	s.mu.Unlock()
+	var seq uint64
+	if hasActive {
+		var err error
+		if seq, err = s.Seal(); err != nil {
+			return err
+		}
+	}
+	return s.CommitSealed(cp, seq)
+}
+
+// CommitSealed persists cp as the next generation, covering every
+// delta-log record in segments at or below seq: it writes a complete
+// checkpoint directory whose manifest records seq as its walSeq
+// watermark, atomically renames it into place, swaps CURRENT, and then
+// retires the previous generation and every segment the new checkpoint
+// folds in. It is safe to run concurrently with AppendDelta/Seal on
+// the successor segments — the write path the background committer
+// uses — but at most one commit may be in flight at a time (enforced
+// by commitMu). On error the old checkpoint and every segment are left
+// intact, so the commit can simply be retried.
+func (s *Store) CommitSealed(cp *Checkpoint, seq uint64) error {
 	if cp == nil || cp.Original == nil || cp.Cleaned == nil || cp.State == nil ||
 		cp.Vendors == nil || cp.Products == nil {
 		return fmt.Errorf("store: incomplete checkpoint")
 	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.mu.Lock()
 	gen := s.gen + 1
+	if s.active != nil && seq >= s.active.seq {
+		s.mu.Unlock()
+		return fmt.Errorf("store: cannot commit through unsealed segment %d (active %d)", seq, s.active.seq)
+	}
+	if seq < s.genSeq {
+		s.mu.Unlock()
+		return fmt.Errorf("store: checkpoint walSeq %d behind committed watermark %d", seq, s.genSeq)
+	}
+	s.mu.Unlock()
 	name := genName(gen)
 	tmp := filepath.Join(s.dir, name+".tmp")
 	if err := os.RemoveAll(tmp); err != nil {
@@ -302,7 +455,7 @@ func (s *Store) Commit(cp *Checkpoint) error {
 	if err := os.MkdirAll(tmp, 0o755); err != nil {
 		return err
 	}
-	m := &manifest{Kind: manifestKind, Generation: gen, Files: make(map[string]fileSum)}
+	m := &manifest{Kind: manifestKind, Generation: gen, Seq: seq, Files: make(map[string]fileSum)}
 	var mMu sync.Mutex
 	write := func(file string, encode func(io.Writer) error) error {
 		f, err := os.Create(filepath.Join(tmp, file))
@@ -379,38 +532,57 @@ func (s *Store) Commit(cp *Checkpoint) error {
 	if err := syncDir(s.dir); err != nil {
 		return err
 	}
-	// Fresh, empty delta log for the new generation before the commit
-	// point, so a committed CURRENT always has its log.
-	newWAL, _, _, err := openWAL(s.walPath(gen))
-	if err != nil {
-		return err
+	// An active segment must exist before the commit point, so a
+	// committed CURRENT always has a log to append to. The compaction
+	// path sealed one open already; the cold boot path creates the
+	// first segment here.
+	s.mu.Lock()
+	if s.active == nil {
+		next, _, _, err := openSegment(filepath.Join(s.dir, segmentName(seq+1)), seq+1)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.active = next
 	}
+	s.mu.Unlock()
 	if err := writeCurrent(s.dir, name); err != nil {
-		newWAL.close()
 		return err
 	}
-	// Committed. Retire the previous generation.
+	// Committed. Retire the previous generation and every segment the
+	// new checkpoint folds in (seq and below).
 	s.mu.Lock()
 	oldGen := s.gen
-	if s.wal != nil {
-		s.wal.close()
-	}
-	s.wal = newWAL
 	s.gen = gen
+	s.genSeq = seq
+	var retire []uint64
+	live := s.sealed[:0]
+	for _, seg := range s.sealed {
+		if seg.seq <= seq {
+			retire = append(retire, seg.seq)
+		} else {
+			live = append(live, seg)
+		}
+	}
+	s.sealed = live
 	s.mu.Unlock()
 	if oldGen != 0 {
 		os.RemoveAll(filepath.Join(s.dir, genName(oldGen)))
-		os.Remove(s.walPath(oldGen))
+	}
+	for _, q := range retire {
+		os.Remove(filepath.Join(s.dir, segmentName(q)))
 	}
 	return nil
 }
 
-// Close releases the delta log handle.
+// Close releases the active delta-log segment handle.
 func (s *Store) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.wal.close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active.close()
 }
 
 // crcWriter accumulates the size and CRC-32C of everything written
@@ -498,7 +670,7 @@ func loadCheckpoint(path string) (*Checkpoint, error) {
 	// The two snapshots, the reuse state and the engine are the large
 	// documents; decode them concurrently. The consolidation maps are
 	// small enough to decode inline.
-	cp := &Checkpoint{Generation: m.Generation}
+	cp := &Checkpoint{Generation: m.Generation, Seq: m.Seq}
 	var g parallel.Group
 	decode := func(file string, fn func([]byte) error) {
 		g.Go(func() error {

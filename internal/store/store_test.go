@@ -3,6 +3,7 @@ package store
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -213,8 +214,8 @@ func TestCommitCompacts(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, "gen-000001")); !os.IsNotExist(err) {
 		t.Error("generation 1 not retired")
 	}
-	if _, err := os.Stat(filepath.Join(dir, "wal-000001.log")); !os.IsNotExist(err) {
-		t.Error("delta log 1 not retired")
+	if _, err := os.Stat(filepath.Join(dir, "log-000001")); !os.IsNotExist(err) {
+		t.Error("delta log segment 1 not retired")
 	}
 	s.Close()
 
@@ -242,7 +243,7 @@ func TestRecoveryTornTail(t *testing.T) {
 
 	// Simulate a crash mid-append: a frame header promising more bytes
 	// than were written.
-	walPath := filepath.Join(dir, "wal-000001.log")
+	walPath := filepath.Join(dir, "log-000001")
 	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -288,7 +289,7 @@ func TestAppendRollback(t *testing.T) {
 	}
 	// Simulate the failed append's torn frame at the file tail, then
 	// the recovery path a real append error takes.
-	w := s.wal
+	w := s.active
 	if _, err := w.f.Write([]byte{0xff, 0xff, 0x00, 0x00, 9, 9, 9}); err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestRecoveryCorruptRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 	var offsets []int64
-	walPath := filepath.Join(dir, "wal-000001.log")
+	walPath := filepath.Join(dir, "log-000001")
 	for i := 1; i <= 3; i++ {
 		if err := s.AppendDelta(testDelta(i)); err != nil {
 			t.Fatal(err)
@@ -354,11 +355,12 @@ func TestRecoveryCorruptRecord(t *testing.T) {
 	}
 }
 
-// TestRecoveryInterruptedCommit simulates dying between writing the
-// next checkpoint and swapping CURRENT: both a leftover .tmp directory
+// TestRecoveryInterruptedCommit simulates dying between sealing the
+// active segment and swapping CURRENT: both a leftover .tmp directory
 // and a fully renamed-but-uncommitted generation directory must be
 // swept, and the store must reopen at the last committed generation
-// with its delta log intact.
+// with every acknowledged delta — in the sealed segment and the active
+// one — intact.
 func TestRecoveryInterruptedCommit(t *testing.T) {
 	dir := t.TempDir()
 	s, _, _, _ := mustOpen(t, dir)
@@ -366,6 +368,15 @@ func TestRecoveryInterruptedCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := s.AppendDelta(testDelta(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The compaction path seals before the background commit; dying
+	// anywhere after the seal must lose neither the sealed segment's
+	// record nor one appended to the successor afterwards.
+	if _, err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDelta(testDelta(2)); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -403,8 +414,11 @@ func TestRecoveryInterruptedCommit(t *testing.T) {
 	if cp == nil || cp.Generation != 1 || s2.Generation() != 1 {
 		t.Fatalf("recovered generation %v, want 1", s2.Generation())
 	}
-	if len(deltas) != 1 {
-		t.Fatalf("recovered %d deltas, want 1", len(deltas))
+	if len(deltas) != 2 {
+		t.Fatalf("recovered %d deltas, want 2 (one sealed, one active)", len(deltas))
+	}
+	if s2.SealedSegments() != 1 || s2.ActiveRecords() != 1 {
+		t.Errorf("segments: sealed=%d active=%d, want 1/1", s2.SealedSegments(), s2.ActiveRecords())
 	}
 	if _, err := os.Stat(filepath.Join(dir, "gen-000002.tmp")); !os.IsNotExist(err) {
 		t.Error("interrupted .tmp directory not swept")
@@ -467,6 +481,53 @@ func TestRecoveryMissingCurrent(t *testing.T) {
 	s2, cp, _, notes := mustOpen(t, dir)
 	if cp == nil || cp.Generation != 1 || s2.Generation() != 1 {
 		t.Fatalf("lost CURRENT not recovered: %v (notes %v)", s2.Generation(), notes)
+	}
+}
+
+// TestLegacyWALMigration proves a pre-segmentation store — one
+// wal-NNNNNN.log beside its generation — reopens with the log adopted
+// as the first segment and every record intact (the frame format never
+// changed, so the rename is the whole migration).
+func TestLegacyWALMigration(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, _ := mustOpen(t, dir)
+	if err := s.Commit(testCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := s.AppendDelta(testDelta(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Reshape the directory as the old layout left it.
+	if err := os.Rename(filepath.Join(dir, "log-000001"), filepath.Join(dir, "wal-000001.log")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, cp, deltas, notes := mustOpen(t, dir)
+	if cp == nil || len(deltas) != 2 {
+		t.Fatalf("migration recovered %d deltas (notes %v)", len(deltas), notes)
+	}
+	migrated := false
+	for _, n := range notes {
+		if strings.Contains(n, "migrated legacy delta log") {
+			migrated = true
+		}
+	}
+	if !migrated {
+		t.Errorf("no migration note: %v", notes)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal-000001.log")); !os.IsNotExist(err) {
+		t.Error("legacy log still present after migration")
+	}
+	if err := s2.AppendDelta(testDelta(3)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	_, _, deltas, _ = mustOpen(t, dir)
+	if len(deltas) != 3 {
+		t.Fatalf("append after migration lost records: %d deltas", len(deltas))
 	}
 }
 

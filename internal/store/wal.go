@@ -6,22 +6,36 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
 
 	"nvdclean/internal/cve"
 )
 
-// The delta log is a flat file of framed records:
+// The delta log is segmented: a store directory holds log-<seq> files,
+// each a flat sequence of framed records:
 //
 //	[4-byte little-endian payload length]
 //	[4-byte little-endian CRC-32C of the payload]
 //	[payload: one cve.MarshalDelta document]
 //
-// Records are appended and fsynced one at a time; the file is never
-// rewritten in place. Recovery reads records until the first frame that
-// is torn (header or payload extends past EOF) or fails its checksum,
-// and truncates the file there — everything before the bad frame is a
-// committed delta, everything after is a casualty of the crash that
-// produced it.
+// Records are appended and fsynced one at a time into the *active*
+// segment (the highest seq); segments are never rewritten in place.
+// When compaction trips, the active segment is sealed (closed, a
+// successor opened) and a checkpoint of the sealed generation is
+// written off the hot path; the checkpoint's manifest records the
+// sealed seq as its walSeq watermark, and once CURRENT adopts it every
+// segment at or below that seq is retired.
+//
+// Recovery replays live segments (seq > the committed checkpoint's
+// walSeq) in ascending order. Only the last segment may legitimately
+// end in a torn frame (a crash mid-append), and its tail is truncated
+// at the last good record. A bad frame inside an earlier segment is
+// real corruption: everything from that frame on — including every
+// later segment, which cannot be applied across the gap — is dropped,
+// exactly as the bad frame's suffix would be in a flat log.
 
 const (
 	walHeaderSize = 8
@@ -32,10 +46,45 @@ const (
 
 var walTable = crc32.MakeTable(crc32.Castagnoli)
 
-// wal is an open delta log positioned for appending.
+func segmentName(seq uint64) string { return fmt.Sprintf("log-%06d", seq) }
+
+// segmentSeq parses a log-<seq> file name.
+func segmentSeq(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, "log-")
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// segmentSeqs lists the segment files in dir, ascending by seq.
+func segmentSeqs(dir string) []uint64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var seqs []uint64
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if seq, ok := segmentSeq(ent.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	slices.Sort(seqs)
+	return seqs
+}
+
+// wal is one open delta-log segment positioned for appending.
 type wal struct {
 	f       *os.File
 	path    string
+	seq     uint64
 	records int
 	// off is the end offset of the last fully committed frame. A
 	// failed append truncates back to it; if even that fails the log
@@ -46,11 +95,11 @@ type wal struct {
 	poisoned bool
 }
 
-// openWAL opens (creating if absent) the delta log at path, replays
-// every committed record, truncates any torn or corrupt tail, and
-// leaves the file positioned for appending. It returns the decoded
-// deltas and a human-readable note when a tail was dropped.
-func openWAL(path string) (*wal, []*cve.Delta, string, error) {
+// openSegment opens (creating if absent) one segment, replays every
+// committed record, truncates any torn or corrupt tail, and leaves the
+// file positioned for appending. It returns the decoded deltas and a
+// human-readable note when a tail was dropped.
+func openSegment(path string, seq uint64) (*wal, []*cve.Delta, string, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, "", err
@@ -66,15 +115,20 @@ func openWAL(path string) (*wal, []*cve.Delta, string, error) {
 		off    int64
 		note   string
 	)
-	for int(off)+walHeaderSize <= len(data) {
+	// Frame bounds are compared in int64: on a 32-bit platform a
+	// corrupted length field near MaxInt32 would wrap an int sum and
+	// slip past the torn-frame check.
+	size := int64(len(data))
+	for off+walHeaderSize <= size {
 		h := data[off : off+walHeaderSize]
 		length := binary.LittleEndian.Uint32(h[0:4])
 		sum := binary.LittleEndian.Uint32(h[4:8])
-		if length > walMaxRecord || int(off)+walHeaderSize+int(length) > len(data) {
+		end := off + walHeaderSize + int64(length)
+		if length > walMaxRecord || end > size {
 			note = fmt.Sprintf("dropped torn record %d at offset %d", len(deltas), off)
 			break
 		}
-		payload := data[off+walHeaderSize : off+walHeaderSize+int64(length)]
+		payload := data[off+walHeaderSize : end]
 		if crc32.Checksum(payload, walTable) != sum {
 			note = fmt.Sprintf("dropped corrupt record %d at offset %d (checksum mismatch)", len(deltas), off)
 			break
@@ -85,9 +139,9 @@ func openWAL(path string) (*wal, []*cve.Delta, string, error) {
 			break
 		}
 		deltas = append(deltas, d)
-		off += walHeaderSize + int64(length)
+		off = end
 	}
-	if int(off) < len(data) {
+	if off < size {
 		if note == "" {
 			note = fmt.Sprintf("dropped torn tail at offset %d", off)
 		}
@@ -100,7 +154,82 @@ func openWAL(path string) (*wal, []*cve.Delta, string, error) {
 		f.Close()
 		return nil, nil, "", err
 	}
-	return &wal{f: f, path: path, records: len(deltas), off: off}, deltas, note, nil
+	return &wal{f: f, path: path, seq: seq, records: len(deltas), off: off}, deltas, note, nil
+}
+
+// sealedSeg is one sealed-but-unretired segment's bookkeeping.
+type sealedSeg struct {
+	seq     uint64
+	records int
+}
+
+// replaySegments recovers the live segments of a store whose committed
+// checkpoint covers every segment at or below after. It returns the
+// reopened active segment (the highest live seq, or a fresh successor
+// when none exist or the chain was cut by corruption), the sealed
+// segments still awaiting retirement, every recovered delta in append
+// order, and recovery notes.
+func replaySegments(dir string, after uint64) (*wal, []sealedSeg, []*cve.Delta, []string, error) {
+	var live []uint64
+	for _, seq := range segmentSeqs(dir) {
+		if seq > after {
+			live = append(live, seq)
+		}
+	}
+	var (
+		active *wal
+		sealed []sealedSeg
+		deltas []*cve.Delta
+		notes  []string
+	)
+	for i, seq := range live {
+		w, segDeltas, note, err := openSegment(filepath.Join(dir, segmentName(seq)), seq)
+		if err != nil {
+			return nil, nil, nil, notes, err
+		}
+		deltas = append(deltas, segDeltas...)
+		if note != "" {
+			notes = append(notes, fmt.Sprintf("segment %s: %s", segmentName(seq), note))
+		}
+		last := i == len(live)-1
+		if last {
+			active = w
+			break
+		}
+		w.close()
+		sealed = append(sealed, sealedSeg{seq: seq, records: len(segDeltas)})
+		if note != "" {
+			// A bad frame inside a sealed segment strands every later
+			// segment: replaying them would apply deltas across the
+			// gap. Drop them — the same suffix a flat log would lose —
+			// and resume appends past the highest seq seen.
+			for _, later := range live[i+1:] {
+				if err := os.Remove(filepath.Join(dir, segmentName(later))); err == nil {
+					notes = append(notes, fmt.Sprintf("dropped unreachable segment %s", segmentName(later)))
+				}
+			}
+			break
+		}
+	}
+	if active == nil {
+		next := after + 1
+		if n := len(live); n > 0 {
+			next = live[n-1] + 1
+		}
+		var err error
+		active, _, _, err = openSegment(filepath.Join(dir, segmentName(next)), next)
+		if err != nil {
+			return nil, nil, nil, notes, err
+		}
+		// Persist the fresh segment's directory entry: deltas appended
+		// to it are acknowledged on their own fsync, which does not
+		// cover the dirent of a file created here.
+		if err := syncDir(dir); err != nil {
+			active.close()
+			return nil, nil, nil, notes, err
+		}
+	}
+	return active, sealed, deltas, notes, nil
 }
 
 // append frames, writes and fsyncs one delta record. The record is
