@@ -46,39 +46,61 @@ import (
 	"nvdclean/internal/store"
 )
 
+// serveConfig collects every flag the daemon runs with.
+type serveConfig struct {
+	addr, feedPath, demoScale string
+	crawl                     bool
+	concurrency               int
+	models                    string
+	epochs                    int
+	compact                   bool
+	seed                      int64
+	dataDir                   string
+	compactEvery              int
+	compactSync               bool
+	maxFeedBytes              int64
+	queryCacheBytes           int
+	readCache                 bool
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", "127.0.0.1:8417", "listen address (use :0 for an ephemeral port)")
-		feedPath     = flag.String("feed", "", "NVD JSON 1.1 feed file to serve (empty: synthetic demo snapshot)")
-		demoScale    = flag.String("demo", "tiny", "demo snapshot scale: tiny, small or paper")
-		crawl        = flag.Bool("crawl", false, "crawl reference URLs of real feeds over the live web")
-		concurrency  = flag.Int("concurrency", 0, "worker bound for every pipeline stage (0: GOMAXPROCS)")
-		models       = flag.String("models", "LR", "severity models to train: comma-separated LR,SVR,CNN,DNN or all")
-		epochs       = flag.Int("epochs", 0, "training epochs for the deep models (0: paper's 100)")
-		compact      = flag.Bool("compact", true, "use compact deep models (paper-width models are expensive)")
-		seed         = flag.Int64("seed", 1, "dataset split and weight-init seed")
-		dataDir      = flag.String("data-dir", "", "persistent generation store directory (empty: in-memory only)")
-		compactEvery = flag.Int("compact-every", 8, "fold the delta log into a fresh checkpoint after this many records (0: never)")
-		compactSync  = flag.Bool("compact-sync", false, "write compaction checkpoints inside POST /feed instead of a background committer")
-	)
+	var cfg serveConfig
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8417", "listen address (use :0 for an ephemeral port)")
+	flag.StringVar(&cfg.feedPath, "feed", "", "NVD JSON 1.1 feed file to serve (empty: synthetic demo snapshot)")
+	flag.StringVar(&cfg.demoScale, "demo", "tiny", "demo snapshot scale: tiny, small or paper")
+	flag.BoolVar(&cfg.crawl, "crawl", false, "crawl reference URLs of real feeds over the live web")
+	flag.IntVar(&cfg.concurrency, "concurrency", 0, "worker bound for every pipeline stage (0: GOMAXPROCS)")
+	flag.StringVar(&cfg.models, "models", "LR", "severity models to train: comma-separated LR,SVR,CNN,DNN or all")
+	flag.IntVar(&cfg.epochs, "epochs", 0, "training epochs for the deep models (0: paper's 100)")
+	flag.BoolVar(&cfg.compact, "compact", true, "use compact deep models (paper-width models are expensive)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "dataset split and weight-init seed")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "persistent generation store directory (empty: in-memory only)")
+	flag.IntVar(&cfg.compactEvery, "compact-every", 8, "fold the delta log into a fresh checkpoint after this many records (0: never)")
+	flag.BoolVar(&cfg.compactSync, "compact-sync", false, "write compaction checkpoints inside POST /feed instead of a background committer")
+	flag.Int64Var(&cfg.maxFeedBytes, "max-feed-bytes", defaultMaxFeedBytes, "largest POST /feed body accepted, in bytes (0: unbounded)")
+	flag.IntVar(&cfg.queryCacheBytes, "query-cache-bytes", defaultQueryCacheBytes, "per-generation /query response cache cap, in bytes (0: disabled)")
+	flag.BoolVar(&cfg.readCache, "read-cache", true, "serve reads from per-generation pre-encoded response caches")
 	flag.Parse()
 
-	if err := run(*addr, *feedPath, *demoScale, *crawl, *concurrency, *models, *epochs, *compact, *seed, *dataDir, *compactEvery, *compactSync); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "nvdserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, feedPath, demoScale string, crawl bool, concurrency int, models string, epochs int, compact bool, seed int64, dataDir string, compactEvery int, compactSync bool) error {
-	kinds, err := parseModels(models)
+func run(cfg serveConfig) error {
+	addr, feedPath, demoScale := cfg.addr, cfg.feedPath, cfg.demoScale
+	crawl, dataDir := cfg.crawl, cfg.dataDir
+	compactEvery, compactSync := cfg.compactEvery, cfg.compactSync
+	kinds, err := parseModels(cfg.models)
 	if err != nil {
 		return err
 	}
 	opts := nvdclean.Options{
-		Concurrency: concurrency,
+		Concurrency: cfg.concurrency,
 		Models:      kinds,
-		ModelConfig: predict.ModelConfig{Epochs: epochs, Compact: compact, Seed: seed},
-		Seed:        seed,
+		ModelConfig: predict.ModelConfig{Epochs: cfg.epochs, Compact: cfg.compact, Seed: cfg.seed},
+		Seed:        cfg.seed,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -151,6 +173,9 @@ func run(addr, feedPath, demoScale string, crawl bool, concurrency int, models s
 	srv := newServer(opts)
 	srv.persist = persist
 	srv.compactEvery = compactEvery
+	srv.maxFeedBytes = cfg.maxFeedBytes
+	srv.queryCacheBytes = cfg.queryCacheBytes
+	srv.readCache = cfg.readCache
 	if persist != nil && !compactSync {
 		// Background compaction: POST /feed seals the delta log and
 		// enqueues the checkpoint; the committer pays the write. Closed
@@ -175,7 +200,7 @@ func run(addr, feedPath, demoScale string, crawl bool, concurrency int, models s
 				return fmt.Errorf("replaying delta log: %w", err)
 			}
 		}
-		st := srv.newState(res, nil, time.Since(start), 1, len(logged) > 0, true)
+		st := srv.newState(res, nil, nil, time.Since(start), 1, len(logged) > 0, true)
 		st.restored = true
 		srv.cur.Store(st)
 		fmt.Printf("nvdserve: warm start: restored store generation %d (%d entries, %d logged deltas) in %dms — no re-clean\n",
@@ -203,7 +228,17 @@ func run(addr, feedPath, demoScale string, crawl bool, concurrency int, models s
 	// (the smoke test, scripts) can discover the ephemeral port.
 	fmt.Printf("nvdserve: listening on http://%s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.handler()}
+	// Slowloris hardening: headers must arrive promptly, the whole
+	// request — POST /feed body included, which sets the generous
+	// bound — within ReadTimeout, and idle keep-alive connections are
+	// reaped instead of pinned open. Responses are in-memory bytes, so
+	// no WriteTimeout is needed beyond the kernel's send buffers.
+	hs := &http.Server{
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	select {

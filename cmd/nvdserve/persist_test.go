@@ -227,7 +227,7 @@ func TestWarmRestartEquivalence(t *testing.T) {
 		t.Error("warm restart should reuse the restored engine (v2-only delta)")
 	}
 	srvWarm := newServer(warmOpts)
-	srvWarm.cur.Store(srvWarm.newState(res, nil, 0, 1, true, true))
+	srvWarm.cur.Store(srvWarm.newState(res, nil, nil, 0, 1, true, true))
 
 	// Cold reference: full Clean of the merged feed, in-memory.
 	coldOpts := opts

@@ -2,8 +2,9 @@ package main
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 	"nvdclean/internal/cvss"
 	"nvdclean/internal/cwe"
 	"nvdclean/internal/predict"
+	"nvdclean/internal/respcache"
 	"nvdclean/internal/store"
 )
 
@@ -39,6 +41,13 @@ type serveState struct {
 	// restored marks the boot generation of a warm restart from the
 	// persistent store (no full re-clean).
 	restored bool
+	// etag is the strong validator every read response of this
+	// generation carries (see etagFor); entries and queries are the
+	// generation's pre-encoded response caches, coherent by
+	// construction because the generation they belong to is immutable.
+	etag    string
+	entries *respcache.EntryCache
+	queries *respcache.QueryCache
 }
 
 // server is the nvdserve daemon: it owns the current snapshot
@@ -57,10 +66,42 @@ type server struct {
 	// nil (-compact-sync, or no store) the handler pays the checkpoint
 	// write inline, the pre-commit-queue behavior.
 	committer *store.Committer
+	// bootEpoch makes ETags unique across restarts: the in-memory
+	// generation counter restarts at 1 while the served content does
+	// not, so a validator must carry something boot-unique or a client
+	// could get a false 304 from a post-restart generation that reused
+	// a pre-restart counter value.
+	bootEpoch uint64
+	// readCache gates the pre-encoded response caches (-read-cache);
+	// off, every read renders per request — the pre-PR-5 behavior kept
+	// as an escape hatch and as the benchmark baseline.
+	readCache bool
+	// queryCacheBytes caps each generation's /query response cache
+	// (-query-cache-bytes; <= 0 disables it). The /cve cache needs no
+	// cap: it is bounded by the generation's entry count.
+	queryCacheBytes int
+	// maxFeedBytes bounds a POST /feed body (-max-feed-bytes; <= 0
+	// unbounded); metrics accumulates read-cache counters across
+	// generations for /stats.
+	maxFeedBytes int64
+	metrics      *respcache.Metrics
 }
 
+// Default resource bounds, overridable by flags.
+const (
+	defaultQueryCacheBytes = 4 << 20
+	defaultMaxFeedBytes    = 64 << 20
+)
+
 func newServer(opts nvdclean.Options) *server {
-	return &server{opts: opts}
+	return &server{
+		opts:            opts,
+		bootEpoch:       uint64(time.Now().UnixNano()),
+		readCache:       true,
+		queryCacheBytes: defaultQueryCacheBytes,
+		maxFeedBytes:    defaultMaxFeedBytes,
+		metrics:         &respcache.Metrics{},
+	}
 }
 
 // load runs the full pipeline on snap and installs the result as the
@@ -78,7 +119,7 @@ func (s *server) load(ctx context.Context, snap *nvdclean.Snapshot) error {
 	if prev := s.cur.Load(); prev != nil {
 		gen = prev.generation + 1
 	}
-	st := s.newState(res, nil, time.Since(start), gen, false, false)
+	st := s.newState(res, nil, nil, time.Since(start), gen, false, false)
 	if s.persist != nil {
 		if err := s.persist.Commit(res.StoreCheckpoint()); err != nil {
 			return fmt.Errorf("committing checkpoint: %w", err)
@@ -95,27 +136,64 @@ func (s *server) load(ctx context.Context, snap *nvdclean.Snapshot) error {
 // incrementally from the cleaned-view delta — the Diff of the two
 // cleaned snapshots, which also captures consolidation flips on
 // entries the feed delta never named. Untouched index shards are
-// shared between generations.
-func (s *server) newState(res *nvdclean.Result, prev *serveState, dur time.Duration, gen int, incremental, warm bool) *serveState {
+// shared between generations, and so are the previous generation's
+// pre-encoded /cve responses: an entry neither delta names serves the
+// exact bytes it served last generation, copied forward by reference.
+// The invalidation set is the union of both deltas because the /cve
+// view is wider than the cleaned entry — a feed update can flip a
+// Result-level annotation (say, a consolidation mark) while leaving
+// the cleaned entry bytes equal, so the feed delta's IDs are stale
+// even when the cleaned diff never names them.
+func (s *server) newState(res *nvdclean.Result, prev *serveState, feedDelta *nvdclean.Delta, dur time.Duration, gen int, incremental, warm bool) *serveState {
 	nvdclean.ApplyBackport(res.Cleaned, res.Backport)
 	byID := make(map[string]*nvdclean.Entry, res.Cleaned.Len())
 	for _, e := range res.Cleaned.Entries {
 		byID[e.ID] = e
 	}
-	var idx *store.Index
-	if prev != nil && prev.idx != nil {
-		cleanedDelta := nvdclean.Diff(prev.res.Cleaned, res.Cleaned)
-		idx = prev.idx.Update(cleanedDelta, func(id string) *cve.Entry {
-			return prev.byID[id]
-		}, s.opts.Concurrency)
-	} else {
-		idx = store.BuildIndex(res.Cleaned, s.opts.Concurrency)
-	}
-	return &serveState{
-		res: res, byID: byID, idx: idx,
+	st := &serveState{
+		res: res, byID: byID,
 		loadedAt: time.Now(), cleanDur: dur,
 		generation: gen, incremental: incremental, warmStart: warm,
+		entries: respcache.NewEntryCache(s.metrics),
+		queries: respcache.NewQueryCache(s.queryCacheBytes, s.metrics),
 	}
+	if prev != nil && prev.idx != nil {
+		cleanedDelta := nvdclean.Diff(prev.res.Cleaned, res.Cleaned)
+		st.idx = prev.idx.Update(cleanedDelta, func(id string) *cve.Entry {
+			return prev.byID[id]
+		}, s.opts.Concurrency)
+		stale := staleIDs(cleanedDelta, feedDelta)
+		st.entries.Seed(prev.entries, func(id string) bool {
+			_, alive := byID[id]
+			return alive && !stale[id]
+		})
+	} else {
+		st.idx = store.BuildIndex(res.Cleaned, s.opts.Concurrency)
+	}
+	var storeGen uint64
+	if s.persist != nil {
+		storeGen = s.persist.Generation()
+	}
+	st.etag = fmt.Sprintf(`"%x-%d-%d"`, s.bootEpoch, storeGen, gen)
+	return st
+}
+
+// staleIDs collects every CVE ID either delta names — the entries
+// whose cached response bytes must not carry over a generation swap.
+func staleIDs(deltas ...*nvdclean.Delta) map[string]bool {
+	stale := make(map[string]bool)
+	for _, d := range deltas {
+		if d == nil {
+			continue
+		}
+		for _, id := range d.ChangedIDs() {
+			stale[id] = true
+		}
+		for _, id := range d.Removed {
+			stale[id] = true
+		}
+	}
+	return stale
 }
 
 // handler builds the HTTP mux.
@@ -129,12 +207,13 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
+// writeJSON renders non-cacheable responses — errors, feed summaries,
+// stats — compactly. Read endpoints honor ?pretty=1; everything else
+// is machine-consumed and no longer pays the ~30% indentation tax.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(encodeJSON(v, false))
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -156,11 +235,21 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "loading")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	pretty, err := parsePretty(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	etag := st.etagFor(pretty)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		s.serveNotModified(w, etag, nil)
+		return
+	}
+	serveRead(w, etag, encodeJSON(map[string]any{
 		"status":     "ok",
 		"entries":    st.res.Cleaned.Len(),
 		"generation": st.generation,
-	})
+	}, pretty))
 }
 
 // affectedView is one (vendor, product) pair of a CVE.
@@ -236,18 +325,37 @@ func (st *serveState) view(e *nvdclean.Entry) cveView {
 	return v
 }
 
+// handleCVE serves one pre-encoded entry: a conditional request whose
+// validator still matches costs a 304 and never touches the body; a
+// fresh request is one cache lookup (encode-once per generation, with
+// untouched entries' bytes carried over incremental swaps).
 func (s *server) handleCVE(w http.ResponseWriter, r *http.Request) {
 	st := s.state(w)
 	if st == nil {
 		return
 	}
 	id := r.PathValue("id")
-	e, ok := st.byID[id]
-	if !ok {
+	if _, ok := st.byID[id]; !ok {
 		writeError(w, http.StatusNotFound, "no entry %s", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, st.view(e))
+	pretty, err := parsePretty(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	etag := st.etagFor(pretty)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		// Only the compact representation is cached, so only there is
+		// the unsent body length known without an encode.
+		var cached []byte
+		if !pretty {
+			cached = st.entries.Peek(id)
+		}
+		s.serveNotModified(w, etag, cached)
+		return
+	}
+	serveRead(w, etag, s.cveBody(st, id, pretty))
 }
 
 // queryParams is one parsed /query request.
@@ -259,6 +367,7 @@ type queryParams struct {
 	hasSev          bool
 	year            int
 	limit, offset   int
+	pretty          bool
 }
 
 // maxQueryLimit caps the /query page size: an arbitrary client-chosen
@@ -273,10 +382,14 @@ func parseQueryParams(values url.Values) (queryParams, error) {
 	p := queryParams{limit: 50}
 	for k := range values {
 		switch k {
-		case "vendor", "product", "cwe", "severity", "year", "limit", "offset":
+		case "vendor", "product", "cwe", "severity", "year", "limit", "offset", "pretty":
 		default:
-			return p, fmt.Errorf("unknown query parameter %q (want vendor, product, cwe, severity, year, limit or offset)", k)
+			return p, fmt.Errorf("unknown query parameter %q (want vendor, product, cwe, severity, year, limit, offset or pretty)", k)
 		}
+	}
+	var err error
+	if p.pretty, err = parsePretty(values); err != nil {
+		return p, err
 	}
 	p.vendor = values.Get("vendor")
 	p.product = values.Get("product")
@@ -441,7 +554,9 @@ func (st *serveState) queryScan(p queryParams) queryResponse {
 // product (both on the same CPE name when combined), CWE type, pv3
 // severity band (real v3 when present, backported otherwise) and year,
 // paginated by limit/offset. Matching is index-intersection over the
-// generation's sharded inverted indexes.
+// generation's sharded inverted indexes; repeated queries serve the
+// pre-encoded bytes from the generation's canonical-key cache, and
+// conditional requests whose validator matches cost a bodiless 304.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	st := s.state(w)
 	if st == nil {
@@ -452,7 +567,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st.queryIndexed(p))
+	etag := st.etagFor(p.pretty)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		var cached []byte
+		if !p.pretty {
+			cached = st.queries.Peek(p.cacheKey())
+		}
+		s.serveNotModified(w, etag, cached)
+		return
+	}
+	serveRead(w, etag, s.queryBody(st, p))
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -481,6 +605,28 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if st.restored {
 		stats["warmRestart"] = true
+	}
+	m := s.metrics
+	stats["readCache"] = map[string]any{
+		"enabled": s.readCache,
+		"entry": map[string]any{
+			"hits":          m.EntryHits.Load(),
+			"misses":        m.EntryMisses.Load(),
+			"cachedEntries": st.entries.Len(),
+		},
+		"query": map[string]any{
+			"hits":          m.QueryHits.Load(),
+			"misses":        m.QueryMisses.Load(),
+			"evictions":     m.QueryEvictions.Load(),
+			"bytesSaved":    m.QueryBytesSaved.Load(),
+			"cachedQueries": st.queries.Len(),
+			"cachedBytes":   st.queries.Bytes(),
+			"capBytes":      s.queryCacheBytes,
+		},
+		"conditional": map[string]any{
+			"notModified": m.NotModified.Load(),
+			"bytesSaved":  m.NotModifiedBytes.Load(),
+		},
 	}
 	if s.persist != nil {
 		storeStats := map[string]any{
@@ -514,7 +660,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		stats["engine"] = engine
 	}
-	writeJSON(w, http.StatusOK, stats)
+	// /stats carries live counters (the cache numbers above change on
+	// every read), so it gets no ETag — a validator that rotates per
+	// request validates nothing. It still honors ?pretty.
+	pretty, err := parsePretty(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(encodeJSON(stats, pretty))
 }
 
 // handleFeed ingests a feed update: the posted body is an NVD JSON 1.1
@@ -523,8 +679,20 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // omits are removed). The delta re-cleans incrementally off the serving
 // generation, which keeps serving until the swap.
 func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
-	snap, err := nvdclean.LoadFeed(r.Body)
+	// Bound the body before the JSON decoder streams it: without this
+	// a client can feed an unbounded body into LoadFeed and size the
+	// server's heap from the wire.
+	body := io.Reader(r.Body)
+	if s.maxFeedBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxFeedBytes)
+	}
+	snap, err := nvdclean.LoadFeed(body)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "feed body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "parsing feed: %v", err)
 		return
 	}
@@ -567,7 +735,7 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	}
 	dur := time.Since(start)
 	warm := res.Engine != nil && res.Engine == prev.Engine
-	next := s.newState(res, st, dur, st.generation+1, true, warm)
+	next := s.newState(res, st, delta, dur, st.generation+1, true, warm)
 
 	// Make the delta durable before it becomes visible: a crash after
 	// the append replays it on restart, a crash before it loses only

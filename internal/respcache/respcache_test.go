@@ -1,0 +1,164 @@
+package respcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEntryCacheSingleflight proves a hot ID encodes exactly once no
+// matter how many requests race the first hit.
+func TestEntryCacheSingleflight(t *testing.T) {
+	m := &Metrics{}
+	c := NewEntryCache(m)
+	var encodes atomic.Int64
+	var wg sync.WaitGroup
+	const goroutines = 32
+	results := make([][]byte, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Get("CVE-2017-0001", func() []byte {
+				encodes.Add(1)
+				return []byte("encoded")
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := encodes.Load(); n != 1 {
+		t.Fatalf("hot ID encoded %d times, want 1", n)
+	}
+	for i, b := range results {
+		if string(b) != "encoded" {
+			t.Fatalf("goroutine %d got %q", i, b)
+		}
+	}
+	if hits, misses := m.EntryHits.Load(), m.EntryMisses.Load(); misses != 1 || hits != goroutines-1 {
+		t.Errorf("hits=%d misses=%d, want %d/1", hits, misses, goroutines-1)
+	}
+}
+
+// TestEntryCacheSeed proves seeding shares bytes for kept IDs and
+// drops the rest, without the previous cache ever being modified.
+func TestEntryCacheSeed(t *testing.T) {
+	m := &Metrics{}
+	prev := NewEntryCache(m)
+	prev.Get("keep", func() []byte { return []byte("kept bytes") })
+	prev.Get("drop", func() []byte { return []byte("stale bytes") })
+
+	next := NewEntryCache(m)
+	next.Seed(prev, func(id string) bool { return id == "keep" })
+	if next.Len() != 1 {
+		t.Fatalf("seeded %d entries, want 1", next.Len())
+	}
+	// The kept entry is shared, not re-encoded: the encode func must
+	// never run.
+	b := next.Get("keep", func() []byte {
+		t.Fatal("seeded entry was re-encoded")
+		return nil
+	})
+	if string(b) != "kept bytes" {
+		t.Fatalf("seeded bytes = %q", b)
+	}
+	// The dropped entry re-encodes in the new generation.
+	if b := next.Get("drop", func() []byte { return []byte("fresh bytes") }); string(b) != "fresh bytes" {
+		t.Fatalf("dropped entry served %q, want a fresh encode", b)
+	}
+	// The previous generation still serves its own bytes.
+	if b := prev.Peek("drop"); string(b) != "stale bytes" {
+		t.Fatalf("previous generation mutated: %q", b)
+	}
+}
+
+// TestQueryCacheLRU proves the byte cap evicts least-recently-used
+// responses and recency is refreshed by Get.
+func TestQueryCacheLRU(t *testing.T) {
+	m := &Metrics{}
+	c := NewQueryCache(30, m)
+	put := func(k string) { c.Put(k, []byte("0123456789")) } // 10 bytes each
+	put("a")
+	put("b")
+	put("c")
+	if c.Len() != 3 || c.Bytes() != 30 {
+		t.Fatalf("len=%d bytes=%d, want 3/30", c.Len(), c.Bytes())
+	}
+	// Touch "a" so "b" becomes the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	put("d")
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU victim b survived")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted, want only b", k)
+		}
+	}
+	if ev := m.QueryEvictions.Load(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	// A response larger than the whole cap is never stored.
+	c.Put("huge", make([]byte, 31))
+	if b := c.Peek("huge"); b != nil {
+		t.Error("over-cap response was stored")
+	}
+}
+
+// TestQueryCacheDisabled proves maxBytes <= 0 turns the cache off
+// entirely.
+func TestQueryCacheDisabled(t *testing.T) {
+	c := NewQueryCache(0, &Metrics{})
+	c.Put("k", []byte("bytes"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache served a hit")
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("disabled cache stored len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+// TestQueryCacheBytesSaved proves the bytes-saved counter sums the
+// encoded length of every hit.
+func TestQueryCacheBytesSaved(t *testing.T) {
+	m := &Metrics{}
+	c := NewQueryCache(1<<20, m)
+	c.Put("k", []byte("ten bytes!"))
+	for i := 0; i < 3; i++ {
+		if _, ok := c.Get("k"); !ok {
+			t.Fatal("miss on cached key")
+		}
+	}
+	if saved := m.QueryBytesSaved.Load(); saved != 30 {
+		t.Errorf("bytes saved = %d, want 30", saved)
+	}
+	if hits, misses := m.QueryHits.Load(), m.QueryMisses.Load(); hits != 3 || misses != 0 {
+		t.Errorf("hits=%d misses=%d, want 3/0", hits, misses)
+	}
+}
+
+// TestQueryCacheConcurrent hammers mixed Get/Put from many goroutines
+// (meaningful under -race) and then checks the size invariant held.
+func TestQueryCacheConcurrent(t *testing.T) {
+	m := &Metrics{}
+	c := NewQueryCache(200, m)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("key-%d", (g+i)%20)
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, []byte(k))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Bytes() > 200 {
+		t.Fatalf("cache exceeded cap: %d bytes", c.Bytes())
+	}
+}
