@@ -61,6 +61,7 @@ type serveConfig struct {
 	maxFeedBytes              int64
 	queryCacheBytes           int
 	readCache                 bool
+	indexLoad                 string
 }
 
 func main() {
@@ -80,6 +81,7 @@ func main() {
 	flag.Int64Var(&cfg.maxFeedBytes, "max-feed-bytes", defaultMaxFeedBytes, "largest POST /feed body accepted, in bytes (0: unbounded)")
 	flag.IntVar(&cfg.queryCacheBytes, "query-cache-bytes", defaultQueryCacheBytes, "per-generation /query response cache cap, in bytes (0: disabled)")
 	flag.BoolVar(&cfg.readCache, "read-cache", true, "serve reads from per-generation pre-encoded response caches")
+	flag.StringVar(&cfg.indexLoad, "index-load", "lazy", "checkpoint index loading: lazy (shards parse on first query) or eager (parse all at boot)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -95,6 +97,9 @@ func run(cfg serveConfig) error {
 	kinds, err := parseModels(cfg.models)
 	if err != nil {
 		return err
+	}
+	if cfg.indexLoad != "lazy" && cfg.indexLoad != "eager" {
+		return fmt.Errorf("bad -index-load %q (want lazy or eager)", cfg.indexLoad)
 	}
 	opts := nvdclean.Options{
 		Concurrency: cfg.concurrency,
@@ -195,16 +200,35 @@ func run(cfg serveConfig) error {
 		for _, d := range logged {
 			merged = merged.ApplyDelta(d)
 		}
+		var st *serveState
 		if total := nvdclean.Diff(res.Original, merged); !total.Empty() {
+			// The checkpoint's own view — carrying its restored lazy
+			// index — becomes the base generation; the logged deltas
+			// then advance it incrementally, exactly as POST /feed
+			// would, re-ordinating only the shards they touch.
+			base := srv.newState(res, nil, nil, cp.Index, 0, 0, false, true)
 			if res, err = nvdclean.CleanDelta(ctx, res, total, opts); err != nil {
 				return fmt.Errorf("replaying delta log: %w", err)
 			}
+			st = srv.newState(res, base, total, nil, time.Since(start), 1, len(logged) > 0, true)
+		} else {
+			st = srv.newState(res, nil, nil, cp.Index, time.Since(start), 1, len(logged) > 0, true)
 		}
-		st := srv.newState(res, nil, nil, time.Since(start), 1, len(logged) > 0, true)
 		st.restored = true
+		if cfg.indexLoad == "eager" {
+			if err := st.idx.LoadAll(opts.Concurrency); err != nil {
+				fmt.Printf("nvdserve: eager index load failed (%v); rebuilding\n", err)
+				st.idx = store.BuildIndex(res.Cleaned, opts.Concurrency)
+			}
+		}
 		srv.cur.Store(st)
-		fmt.Printf("nvdserve: warm start: restored store generation %d (%d entries, %d logged deltas) in %dms — no re-clean\n",
-			srv.persist.Generation(), res.Cleaned.Len(), len(logged), st.cleanDur.Milliseconds())
+		ixs := st.idx.Stats()
+		indexMode := fmt.Sprintf("restored (%d/%d shards lazy)", ixs.Shards-ixs.LoadedShards, ixs.Shards)
+		if cp.Index == nil {
+			indexMode = "rebuilt (checkpoint carried no index segments)"
+		}
+		fmt.Printf("nvdserve: warm start: restored store generation %d (%d entries, %d logged deltas) in %dms — no re-clean; index %s\n",
+			srv.persist.Generation(), res.Cleaned.Len(), len(logged), st.cleanDur.Milliseconds(), indexMode)
 		if feedPath != "" || snap != nil {
 			fmt.Println("nvdserve: store is authoritative; POST /feed to ingest feed updates")
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -67,23 +68,86 @@ func marshalResponse(t *testing.T, resp queryResponse) []byte {
 
 // TestQueryIndexEquivalence is the index invariant: for every filter
 // combination, index-intersection answers are byte-identical to the
-// reference linear scan, and to themselves under an index built at any
-// worker count.
+// reference linear scan — under an index built at any worker count,
+// after an incremental ordinal-level update, and after a persist→load
+// round-trip through lazy checkpoint segments.
 func TestQueryIndexEquivalence(t *testing.T) {
-	srv, _ := demoServer(t)
+	srv, snap := demoServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	check := func(st *serveState, alt *serveState, label string) {
+		t.Helper()
+		for _, p := range paramGrid(st) {
+			indexed := marshalResponse(t, st.queryIndexed(p))
+			scanned := marshalResponse(t, st.queryScan(p))
+			if !bytes.Equal(indexed, scanned) {
+				t.Fatalf("%s: query %+v: indexed %s != scanned %s", label, p, indexed, scanned)
+			}
+			if alt != nil {
+				if b := marshalResponse(t, alt.queryIndexed(p)); !bytes.Equal(indexed, b) {
+					t.Fatalf("%s: query %+v: alternate index differs", label, p)
+				}
+			}
+		}
+	}
+
+	// Fresh builds at several worker counts.
 	st := srv.cur.Load()
-	reindexed := *st
-	reindexed.idx = store.BuildIndex(st.res.Cleaned, 1)
-	for _, p := range paramGrid(st) {
-		indexed := marshalResponse(t, st.queryIndexed(p))
-		scanned := marshalResponse(t, st.queryScan(p))
-		if !bytes.Equal(indexed, scanned) {
-			t.Fatalf("query %+v: indexed %s != scanned %s", p, indexed, scanned)
-		}
-		single := marshalResponse(t, reindexed.queryIndexed(p))
-		if !bytes.Equal(indexed, single) {
-			t.Fatalf("query %+v: index differs across build concurrency", p)
-		}
+	for _, w := range []int{1, 8} {
+		reindexed := *st
+		reindexed.idx = store.BuildIndex(st.res.Cleaned, w)
+		check(st, &reindexed, fmt.Sprintf("workers=%d", w))
+	}
+
+	// Incremental path: a POST /feed advances the index via the
+	// ordinal-level Update; answers must stay identical to the scan and
+	// to a from-scratch rebuild of the new snapshot.
+	postFeed(t, ts, feedUpdate(t, snap))
+	st2 := srv.cur.Load()
+	if st2.generation == st.generation {
+		t.Fatal("feed did not advance the generation")
+	}
+	rebuilt := *st2
+	rebuilt.idx = store.BuildIndex(st2.res.Cleaned, 1)
+	check(st2, &rebuilt, "incremental update")
+
+	// Persist→load round-trip: the committed index segments reload as
+	// a lazy index answering byte-identically, shards parsing only on
+	// first touch.
+	dir := t.TempDir()
+	str, _, _, _, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := st2.res.StoreCheckpoint()
+	cp.Index = st2.idx
+	if err := str.Commit(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := str.Close(); err != nil {
+		t.Fatal(err)
+	}
+	str2, cp2, _, _, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer str2.Close()
+	if cp2.Index == nil {
+		t.Fatalf("reloaded checkpoint has no index (note %q)", cp2.IndexNote)
+	}
+	ixs := cp2.Index.Stats()
+	if ixs.LoadedShards != 0 {
+		t.Fatalf("freshly loaded index already parsed %d shards", ixs.LoadedShards)
+	}
+	if ixs.DiskBytes == 0 {
+		t.Fatal("loaded index reports no on-disk bytes")
+	}
+	restored := *st2
+	restored.idx = cp2.Index
+	check(st2, &restored, "persist/load round-trip")
+	if after := cp2.Index.Stats(); after.LoadedShards == 0 {
+		t.Fatal("queries never touched a lazy shard")
 	}
 }
 
@@ -214,6 +278,14 @@ func TestWarmRestartEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if cp.Index == nil {
+		t.Fatalf("restored checkpoint carried no index segments (note %q)", cp.IndexNote)
+	}
+	// Mirror the production warm boot: the checkpoint's restored lazy
+	// index anchors the base generation, and the logged deltas advance
+	// it incrementally.
+	srvWarm := newServer(warmOpts)
+	base := srvWarm.newState(res, nil, nil, cp.Index, 0, 0, false, true)
 	cur := res.Original
 	for _, d := range logged {
 		cur = cur.ApplyDelta(d)
@@ -222,12 +294,13 @@ func TestWarmRestartEquivalence(t *testing.T) {
 		if res, err = nvdclean.CleanDelta(ctx, res, total, warmOpts); err != nil {
 			t.Fatal(err)
 		}
+		srvWarm.cur.Store(srvWarm.newState(res, base, total, nil, 0, 1, true, true))
+	} else {
+		srvWarm.cur.Store(base)
 	}
 	if res.Engine == nil || res.Engine != cp.Engine {
 		t.Error("warm restart should reuse the restored engine (v2-only delta)")
 	}
-	srvWarm := newServer(warmOpts)
-	srvWarm.cur.Store(srvWarm.newState(res, nil, nil, 0, 1, true, true))
 
 	// Cold reference: full Clean of the merged feed, in-memory.
 	coldOpts := opts

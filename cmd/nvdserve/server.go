@@ -119,9 +119,11 @@ func (s *server) load(ctx context.Context, snap *nvdclean.Snapshot) error {
 	if prev := s.cur.Load(); prev != nil {
 		gen = prev.generation + 1
 	}
-	st := s.newState(res, nil, nil, time.Since(start), gen, false, false)
+	st := s.newState(res, nil, nil, nil, time.Since(start), gen, false, false)
 	if s.persist != nil {
-		if err := s.persist.Commit(res.StoreCheckpoint()); err != nil {
+		cp := res.StoreCheckpoint()
+		cp.Index = st.idx
+		if err := s.persist.Commit(cp); err != nil {
 			return fmt.Errorf("committing checkpoint: %w", err)
 		}
 	}
@@ -144,7 +146,7 @@ func (s *server) load(ctx context.Context, snap *nvdclean.Snapshot) error {
 // Result-level annotation (say, a consolidation mark) while leaving
 // the cleaned entry bytes equal, so the feed delta's IDs are stale
 // even when the cleaned diff never names them.
-func (s *server) newState(res *nvdclean.Result, prev *serveState, feedDelta *nvdclean.Delta, dur time.Duration, gen int, incremental, warm bool) *serveState {
+func (s *server) newState(res *nvdclean.Result, prev *serveState, feedDelta *nvdclean.Delta, restored *store.Index, dur time.Duration, gen int, incremental, warm bool) *serveState {
 	nvdclean.ApplyBackport(res.Cleaned, res.Backport)
 	byID := make(map[string]*nvdclean.Entry, res.Cleaned.Len())
 	for _, e := range res.Cleaned.Entries {
@@ -157,17 +159,30 @@ func (s *server) newState(res *nvdclean.Result, prev *serveState, feedDelta *nvd
 		entries: respcache.NewEntryCache(s.metrics),
 		queries: respcache.NewQueryCache(s.queryCacheBytes, s.metrics),
 	}
-	if prev != nil && prev.idx != nil {
+	switch {
+	case restored != nil:
+		// A checkpoint-restored index: shards stay raw segment bytes
+		// until queries touch them, so the warm boot never pays a
+		// BuildIndex over the feed.
+		st.idx = restored
+	case prev != nil && prev.idx != nil:
 		cleanedDelta := nvdclean.Diff(prev.res.Cleaned, res.Cleaned)
-		st.idx = prev.idx.Update(cleanedDelta, func(id string) *cve.Entry {
+		idx, err := prev.idx.Update(cleanedDelta, func(id string) *cve.Entry {
 			return prev.byID[id]
-		}, s.opts.Concurrency)
+		}, res.Cleaned, s.opts.Concurrency)
+		if err != nil {
+			// A corrupt lazily-loaded shard surfaces on the first
+			// update that touches it; a full rebuild restores a clean
+			// in-memory index.
+			idx = store.BuildIndex(res.Cleaned, s.opts.Concurrency)
+		}
+		st.idx = idx
 		stale := staleIDs(cleanedDelta, feedDelta)
 		st.entries.Seed(prev.entries, func(id string) bool {
 			_, alive := byID[id]
 			return alive && !stale[id]
 		})
-	} else {
+	default:
 		st.idx = store.BuildIndex(res.Cleaned, s.opts.Concurrency)
 	}
 	var storeGen uint64
@@ -502,8 +517,9 @@ func (st *serveState) window(matched []*nvdclean.Entry, p queryParams) queryResp
 }
 
 // queryIndexed answers a /query via index intersection: each active
-// filter contributes one posting list, the ordered merge of which is
-// the match set in snapshot order.
+// filter contributes one ordinal posting list, the block-skipping
+// ordered merge of which is the match set in snapshot order. Ordinals
+// translate to entries only here, at the materialization edge.
 func (st *serveState) queryIndexed(p queryParams) queryResponse {
 	q := store.Query{
 		Vendor: p.vendor, Product: p.product,
@@ -511,14 +527,20 @@ func (st *serveState) queryIndexed(p queryParams) queryResponse {
 		Severity: p.sev, HasSeverity: p.hasSev,
 		Year: p.year,
 	}
-	ids, filtered := st.idx.Match(q)
+	ords, filtered, err := st.idx.Match(q)
+	if err != nil {
+		// A corrupt lazily-loaded index shard cannot change response
+		// bytes: the linear scan answers instead.
+		return st.queryScan(p)
+	}
 	var matched []*nvdclean.Entry
 	if !filtered {
 		matched = st.res.Cleaned.Entries
 	} else {
-		matched = make([]*nvdclean.Entry, 0, len(ids))
-		for _, id := range ids {
-			matched = append(matched, st.byID[id])
+		entries := st.res.Cleaned.Entries
+		matched = make([]*nvdclean.Entry, 0, len(ords))
+		for _, o := range ords {
+			matched = append(matched, entries[o])
 		}
 	}
 	return st.window(matched, p)
@@ -605,6 +627,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if st.restored {
 		stats["warmRestart"] = true
+	}
+	if st.idx != nil {
+		ixs := st.idx.Stats()
+		stats["index"] = map[string]any{
+			"shards":               ixs.Shards,
+			"loadedShards":         ixs.LoadedShards,
+			"lazyShards":           ixs.Shards - ixs.LoadedShards,
+			"keys":                 ixs.Keys,
+			"entries":              ixs.Entries,
+			"postingBytesResident": ixs.ResidentBytes,
+			"postingBytesOnDisk":   ixs.DiskBytes,
+			"format":               ixs.Format,
+		}
 	}
 	m := s.metrics
 	stats["readCache"] = map[string]any{
@@ -735,7 +770,7 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	}
 	dur := time.Since(start)
 	warm := res.Engine != nil && res.Engine == prev.Engine
-	next := s.newState(res, st, delta, dur, st.generation+1, true, warm)
+	next := s.newState(res, st, delta, nil, dur, st.generation+1, true, warm)
 
 	// Make the delta durable before it becomes visible: a crash after
 	// the append replays it on restart, a crash before it loses only
@@ -746,7 +781,7 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.maybeCompact(res, summary)
+	s.maybeCompact(res, next.idx, summary)
 	s.cur.Store(next)
 
 	summary["changed"] = delta.Size()
@@ -766,11 +801,12 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 // into the cleaned snapshot; only the disk write leaves the handler.
 // With -compact-sync (or no committer) the commit runs inline, the
 // pre-commit-queue behavior.
-func (s *server) maybeCompact(res *nvdclean.Result, summary map[string]any) {
+func (s *server) maybeCompact(res *nvdclean.Result, idx *store.Index, summary map[string]any) {
 	if s.persist == nil || s.compactEvery <= 0 || s.persist.ActiveRecords() < s.compactEvery {
 		return
 	}
 	cp := res.StoreCheckpoint()
+	cp.Index = idx
 	seq, err := s.persist.Seal()
 	if err != nil {
 		summary["compactionError"] = err.Error()

@@ -1,7 +1,12 @@
 package store
 
 import (
+	"fmt"
+	"slices"
+	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"nvdclean/internal/cve"
 	"nvdclean/internal/cvss"
@@ -12,10 +17,16 @@ import (
 // The query indexes: inverted posting lists over one cleaned
 // generation, sharded by key hash so builds and incremental updates
 // parallelize and a generation swap clones only the shards a delta
-// touches. Posting lists hold CVE IDs in (year, sequence) order — the
-// order the snapshot itself is sorted in — so index intersections are
-// ordered merges and results come out in snapshot order, identical to
-// a linear scan, at any worker count.
+// touches. Posting lists hold entry ordinals — positions in the
+// cleaned snapshot, which is already sorted in (year, sequence) order —
+// encoded as delta-varint blocks (postings.go), so index intersections
+// are block-skipping ordered merges and results come out in snapshot
+// order, identical to a linear scan, at any worker count. Ordinals
+// translate back to entries only at the /query materialization edge.
+//
+// Shards loaded from a persisted checkpoint stay raw segment bytes
+// until a query first touches them (shard.load), so boot cost and
+// resident memory track the hot key set rather than the feed.
 //
 // Severity postings read the entry's materialized pv3 band (the real
 // v3 severity when present, the backported PV3 score's band
@@ -53,10 +64,9 @@ type key struct {
 }
 
 // shardOf places a key by FNV-1a hash. The hash is seedless so shard
-// placement is identical across processes and runs; nothing persists
-// shard numbers (which is also why changing the fold is safe across
-// versions), but stable placement keeps update/build comparisons in
-// the invariant tests exact.
+// placement is identical across processes and runs; persisted segments
+// are keyed by shard number, so changing the fold is a format break
+// (bump indexFormatVersion).
 func shardOf(k key) int {
 	const (
 		offset64 = 14695981039346656037
@@ -80,17 +90,90 @@ func shardOf(k key) int {
 	return int(h % numShards)
 }
 
-// shard is one immutable posting-list map.
+// shard is one immutable posting map, possibly still in its raw
+// persisted form. The first load parses the raw segment under mu and
+// publishes via loaded (release/acquire), so concurrent lookups never
+// block once a shard is hot.
 type shard struct {
-	post map[key][]string
+	mu     sync.Mutex
+	loaded atomic.Bool
+
+	// raw is the shard's segment payload when it came from a persisted
+	// checkpoint; parsed postings alias it, so it stays reachable for
+	// the shard's lifetime. nil for shards built in memory.
+	raw        []byte
+	rawEntries int // entry count in raw's header
+	diskBytes  int // len(raw) as persisted; 0 for in-memory shards
+
+	post      map[key]*posting
+	dataBytes int   // Σ posting block bytes, once loaded
+	err       error // sticky parse failure
+}
+
+// newShard wraps an in-memory posting map.
+func newShard(post map[key]*posting) *shard {
+	sh := &shard{post: post}
+	for _, p := range post {
+		sh.dataBytes += len(p.data)
+	}
+	sh.loaded.Store(true)
+	return sh
+}
+
+// load returns the shard's posting map, parsing the raw segment on
+// first touch.
+func (sh *shard) load() (map[key]*posting, error) {
+	if sh.loaded.Load() {
+		return sh.post, sh.err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.loaded.Load() {
+		post, _, err := parseShardWire(sh.raw)
+		if err != nil {
+			sh.err = err
+		} else {
+			sh.post = post
+			for _, p := range post {
+				sh.dataBytes += len(p.data)
+			}
+		}
+		sh.loaded.Store(true)
+	}
+	return sh.post, sh.err
 }
 
 // Index is an immutable set of sharded inverted indexes over one
-// cleaned generation. Lookups are lock-free; updates produce a new
-// Index sharing every untouched shard with the old one.
+// cleaned generation. Lookups are lock-free on loaded shards; updates
+// produce a new Index sharing every untouched shard with the old one.
 type Index struct {
+	// ids holds the indexed snapshot's entry IDs in ordinal order —
+	// ids[o] is the ID of ordinal o. It pins the ordinal space an
+	// incremental Update re-ordinates against.
+	ids    []string
 	shards [numShards]*shard
 }
+
+// idsOf extracts the ordinal→ID table of a snapshot.
+func idsOf(snap *cve.Snapshot) []string {
+	ids := make([]string, len(snap.Entries))
+	for i, e := range snap.Entries {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// ordIn finds id's ordinal in a (year, sequence)-ordered ID table.
+func ordIn(ids []string, id string) (uint32, bool) {
+	lo := sort.Search(len(ids), func(i int) bool { return !cve.IDLess(ids[i], id) })
+	if lo < len(ids) && ids[lo] == id {
+		return uint32(lo), true
+	}
+	return 0, false
+}
+
+// Entries returns the indexed snapshot length.
+func (ix *Index) Entries() int { return len(ix.ids) }
 
 // entrySeverity is the pv3 band of a cleaned entry with backported
 // scores materialized: the real v3 band when present, the predicted
@@ -105,35 +188,52 @@ func entrySeverity(e *cve.Entry) (cvss.Severity, bool) {
 	return 0, false
 }
 
-// entryKeys returns every posting key of one cleaned entry.
+// entryKeys returns every posting key of one cleaned entry. The seen
+// maps are filled first so the keys slice is allocated once at its
+// exact final length (sizing by 3*len(CPEs) over-allocates on
+// duplicate-heavy CPE lists); the second pass emits keys in
+// first-appearance order, flipping each seen mark as it goes.
 func entryKeys(e *cve.Entry) []key {
-	keys := make([]key, 0, 3*len(e.CPEs)+len(e.CWEs)+2)
 	seenV := make(map[string]bool, len(e.CPEs))
 	seenP := make(map[string]bool, len(e.CPEs))
 	seenVP := make(map[[2]string]bool, len(e.CPEs))
 	for _, n := range e.CPEs {
-		if !seenV[n.Vendor] {
-			seenV[n.Vendor] = true
-			keys = append(keys, key{kind: keyVendor, a: n.Vendor})
-		}
-		if !seenP[n.Product] {
-			seenP[n.Product] = true
-			keys = append(keys, key{kind: keyProduct, a: n.Product})
-		}
-		vp := [2]string{n.Vendor, n.Product}
-		if !seenVP[vp] {
-			seenVP[vp] = true
-			keys = append(keys, key{kind: keyPair, a: n.Vendor, b: n.Product})
-		}
+		seenV[n.Vendor] = true
+		seenP[n.Product] = true
+		seenVP[[2]string{n.Vendor, n.Product}] = true
 	}
 	seenC := make(map[cwe.ID]bool, len(e.CWEs))
 	for _, c := range e.CWEs {
-		if !seenC[c] {
-			seenC[c] = true
+		seenC[c] = true
+	}
+	sev, hasSev := entrySeverity(e)
+	total := len(seenV) + len(seenP) + len(seenVP) + len(seenC) + 1 // + year
+	if hasSev {
+		total++
+	}
+	keys := make([]key, 0, total)
+	for _, n := range e.CPEs {
+		if seenV[n.Vendor] {
+			seenV[n.Vendor] = false
+			keys = append(keys, key{kind: keyVendor, a: n.Vendor})
+		}
+		if seenP[n.Product] {
+			seenP[n.Product] = false
+			keys = append(keys, key{kind: keyProduct, a: n.Product})
+		}
+		vp := [2]string{n.Vendor, n.Product}
+		if seenVP[vp] {
+			seenVP[vp] = false
+			keys = append(keys, key{kind: keyPair, a: n.Vendor, b: n.Product})
+		}
+	}
+	for _, c := range e.CWEs {
+		if seenC[c] {
+			seenC[c] = false
 			keys = append(keys, key{kind: keyCWE, a: c.String()})
 		}
 	}
-	if sev, ok := entrySeverity(e); ok {
+	if hasSev {
 		keys = append(keys, key{kind: keySeverity, a: sev.String()})
 	}
 	keys = append(keys, key{kind: keyYear, a: strconv.Itoa(e.Year())})
@@ -143,12 +243,12 @@ func entryKeys(e *cve.Entry) []key {
 // BuildIndex builds the full index over a cleaned snapshot (entries
 // sorted by ID, backported scores materialized). Chunks of entries map
 // to shard-local partial postings in parallel; each shard then folds
-// its partials in chunk order, so posting lists come out in snapshot
-// order no matter how many workers ran.
+// its partials in chunk order, so ordinals come out strictly increasing
+// no matter how many workers ran.
 func BuildIndex(snap *cve.Snapshot, workers int) *Index {
 	n := len(snap.Entries)
 	chunks := parallel.NumChunks(n, indexGrain)
-	locals := make([][numShards]map[key][]string, chunks)
+	locals := make([][numShards]map[key][]uint32, chunks)
 	parallel.ForRange(workers, n, indexGrain, func(start, end int) {
 		c := start / indexGrain
 		for i := start; i < end; i++ {
@@ -156,129 +256,222 @@ func BuildIndex(snap *cve.Snapshot, workers int) *Index {
 			for _, k := range entryKeys(e) {
 				s := shardOf(k)
 				if locals[c][s] == nil {
-					locals[c][s] = make(map[key][]string)
+					locals[c][s] = make(map[key][]uint32)
 				}
-				locals[c][s][k] = append(locals[c][s][k], e.ID)
+				locals[c][s][k] = append(locals[c][s][k], uint32(i))
 			}
 		}
 	})
-	ix := &Index{}
+	ix := &Index{ids: idsOf(snap)}
 	parallel.For(workers, numShards, func(s int) {
-		post := make(map[key][]string)
+		ords := make(map[key][]uint32)
 		for c := range locals {
-			for k, ids := range locals[c][s] {
-				post[k] = append(post[k], ids...)
+			for k, os := range locals[c][s] {
+				ords[k] = append(ords[k], os...)
 			}
 		}
-		ix.shards[s] = &shard{post: post}
+		post := make(map[key]*posting, len(ords))
+		for k, os := range ords {
+			post[k] = encodePosting(os)
+		}
+		ix.shards[s] = newShard(post)
 	})
 	return ix
 }
+
+// ordGone marks a removed entry in the re-ordination table.
+const ordGone = ^uint32(0)
 
 // Update returns a new Index reflecting a cleaned-view delta (the Diff
 // of the previous and next cleaned snapshots — which can differ on
 // entries the feed delta never touched, e.g. when a new alias flips a
 // consolidation). prev resolves an ID to the previous generation's
-// cleaned entry, providing the keys removed and modified entries held.
-// Shards the delta does not touch are shared with the receiver; the
-// receiver itself is never modified, so the old generation keeps
+// cleaned entry, providing the keys removed and modified entries held;
+// next is the new cleaned snapshot, fixing the new ordinal space.
+//
+// Re-ordination is bounded by the first insertion or removal point:
+// ordinals below the shift are identical in both spaces, so a shard
+// whose postings never reach the shift — and that the delta's key ops
+// don't touch — is shared byte-for-byte with the receiver. For the
+// common CVE feed shape (new entries append at the top of the ID
+// order) the shift is at the end and every untouched shard is shared.
+// The receiver itself is never modified, so the old generation keeps
 // serving its index.
-func (ix *Index) Update(d *cve.Delta, prev func(id string) *cve.Entry, workers int) *Index {
+func (ix *Index) Update(d *cve.Delta, prev func(id string) *cve.Entry, next *cve.Snapshot, workers int) (*Index, error) {
 	if d.Empty() {
-		return ix
+		return ix, nil
 	}
+	oldIDs := ix.ids
+	newIDs := idsOf(next)
+
+	// Old ordinal → new ordinal (ordGone for removals), plus the first
+	// old ordinal whose mapping is not the identity.
+	remap := make([]uint32, len(oldIDs))
+	shift := len(oldIDs)
+	i, j := 0, 0
+	for i < len(oldIDs) {
+		switch {
+		case j < len(newIDs) && oldIDs[i] == newIDs[j]:
+			remap[i] = uint32(j)
+			if i != j && i < shift {
+				shift = i
+			}
+			i++
+			j++
+		case j < len(newIDs) && cve.IDLess(newIDs[j], oldIDs[i]):
+			j++ // insertion; the next match records the shift
+		default:
+			remap[i] = ordGone
+			if i < shift {
+				shift = i
+			}
+			i++
+		}
+	}
+	identity := shift == len(oldIDs)
+	if identity {
+		remap = nil
+	}
+
+	// Stage per-shard key ops: removals in old-ordinal space (applied
+	// before re-ordination), additions in new-ordinal space.
 	type op struct {
 		k   key
-		id  string
+		ord uint32
 		add bool
 	}
 	var perShard [numShards][]op
-	stage := func(e *cve.Entry, add bool) {
+	stage := func(e *cve.Entry, ord uint32, add bool) {
 		for _, k := range entryKeys(e) {
 			s := shardOf(k)
-			perShard[s] = append(perShard[s], op{k: k, id: e.ID, add: add})
+			perShard[s] = append(perShard[s], op{k: k, ord: ord, add: add})
 		}
 	}
 	for _, id := range d.Removed {
 		if e := prev(id); e != nil {
-			stage(e, false)
+			if o, ok := ordIn(oldIDs, id); ok {
+				stage(e, o, false)
+			}
 		}
 	}
 	for _, e := range d.Modified {
 		if old := prev(e.ID); old != nil {
-			stage(old, false)
+			if o, ok := ordIn(oldIDs, e.ID); ok {
+				stage(old, o, false)
+			}
 		}
-		stage(e, true)
+		if o, ok := ordIn(newIDs, e.ID); ok {
+			stage(e, o, true)
+		}
 	}
 	for _, e := range d.Added {
-		stage(e, true)
+		if o, ok := ordIn(newIDs, e.ID); ok {
+			stage(e, o, true)
+		}
 	}
 
-	out := &Index{}
+	out := &Index{ids: newIDs}
+	var errs [numShards]error
 	parallel.For(workers, numShards, func(s int) {
+		sh := ix.shards[s]
 		ops := perShard[s]
-		if len(ops) == 0 {
-			out.shards[s] = ix.shards[s]
+		if len(ops) == 0 && identity {
+			out.shards[s] = sh
 			return
 		}
-		old := ix.shards[s].post
-		post := make(map[key][]string, len(old))
-		for k, ids := range old {
-			post[k] = ids
+		post, err := sh.load()
+		if err != nil {
+			errs[s] = err
+			return
 		}
-		// Copy each touched posting list once, then edit the copy.
-		touched := make(map[key]bool, len(ops))
+		if len(ops) == 0 && !postingsReach(post, uint32(shift)) {
+			out.shards[s] = sh
+			return
+		}
+		var rem map[key]map[uint32]bool
+		var add map[key][]uint32
 		for _, o := range ops {
-			list := post[o.k]
-			if !touched[o.k] {
-				list = append([]string(nil), list...)
-				touched[o.k] = true
-			}
 			if o.add {
-				list = insertID(list, o.id)
+				if add == nil {
+					add = make(map[key][]uint32)
+				}
+				add[o.k] = append(add[o.k], o.ord)
 			} else {
-				list = removeID(list, o.id)
-			}
-			if len(list) == 0 {
-				delete(post, o.k)
-			} else {
-				post[o.k] = list
+				if rem == nil {
+					rem = make(map[key]map[uint32]bool)
+				}
+				m := rem[o.k]
+				if m == nil {
+					m = make(map[uint32]bool)
+					rem[o.k] = m
+				}
+				m[o.ord] = true
 			}
 		}
-		out.shards[s] = &shard{post: post}
+		for k := range add {
+			slices.Sort(add[k])
+			add[k] = slices.Compact(add[k])
+		}
+		npost := make(map[key]*posting, len(post))
+		var scratch []uint32
+		for k, p := range post {
+			kr, ka := rem[k], add[k]
+			untouched := kr == nil && ka == nil &&
+				(p.count == 0 || int64(p.skips[len(p.skips)-1].last) < int64(shift))
+			if untouched {
+				npost[k] = p
+				continue
+			}
+			scratch, err = p.decode(scratch[:0])
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			ords := make([]uint32, 0, len(scratch)+len(ka))
+			for _, o := range scratch {
+				if kr[o] {
+					continue
+				}
+				no := o
+				if remap != nil {
+					no = remap[o]
+					if no == ordGone {
+						continue
+					}
+				}
+				ords = append(ords, no)
+			}
+			ords = mergeOrds(ords, ka)
+			if len(ords) == 0 {
+				continue
+			}
+			npost[k] = encodePosting(ords)
+		}
+		for k, ka := range add {
+			if _, exists := post[k]; !exists {
+				npost[k] = encodePosting(ka)
+			}
+		}
+		out.shards[s] = newShard(npost)
 	})
-	return out
-}
-
-// insertID adds id to a (year, sequence)-ordered posting list,
-// ignoring duplicates.
-func insertID(list []string, id string) []string {
-	lo, hi := 0, len(list)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if cve.IDLess(list[mid], id) {
-			lo = mid + 1
-		} else {
-			hi = mid
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	if lo < len(list) && list[lo] == id {
-		return list
-	}
-	list = append(list, "")
-	copy(list[lo+1:], list[lo:])
-	list[lo] = id
-	return list
+	return out, nil
 }
 
-// removeID drops id from an ordered posting list.
-func removeID(list []string, id string) []string {
-	for i, v := range list {
-		if v == id {
-			return append(list[:i], list[i+1:]...)
+// postingsReach reports whether any posting holds an ordinal at or
+// above lo — i.e. whether a re-ordination shifted at lo can touch this
+// shard.
+func postingsReach(post map[key]*posting, lo uint32) bool {
+	for _, p := range post {
+		if p.count > 0 && p.skips[len(p.skips)-1].last >= lo {
+			return true
 		}
 	}
-	return list
+	return false
 }
 
 // Query is one /query filter set. Zero-valued fields are inactive.
@@ -296,69 +489,146 @@ func (q Query) Filtered() bool {
 	return q.Vendor != "" || q.Product != "" || q.HasCWE || q.HasSeverity || q.Year != 0
 }
 
-func (ix *Index) lookup(k key) []string {
-	return ix.shards[shardOf(k)].post[k]
-}
-
-// Match intersects the posting lists of every active filter and
-// returns the matching CVE IDs in snapshot order. The second result is
+// Match intersects the posting lists of every active filter and returns
+// the matching entry ordinals in snapshot order. The second result is
 // false when the query has no active filters (every entry matches, no
-// lists to intersect). The returned slice aliases index internals on
-// single-filter queries and must not be modified.
-func (ix *Index) Match(q Query) ([]string, bool) {
+// lists to intersect). The error is a corrupt lazily-loaded segment —
+// callers fall back to the linear scan.
+func (ix *Index) Match(q Query) ([]uint32, bool, error) {
 	if !q.Filtered() {
-		return nil, false
+		return nil, false, nil
 	}
-	var lists [][]string
+	var ks []key
 	switch {
 	case q.Vendor != "" && q.Product != "":
-		lists = append(lists, ix.lookup(key{kind: keyPair, a: q.Vendor, b: q.Product}))
+		ks = append(ks, key{kind: keyPair, a: q.Vendor, b: q.Product})
 	case q.Vendor != "":
-		lists = append(lists, ix.lookup(key{kind: keyVendor, a: q.Vendor}))
+		ks = append(ks, key{kind: keyVendor, a: q.Vendor})
 	case q.Product != "":
-		lists = append(lists, ix.lookup(key{kind: keyProduct, a: q.Product}))
+		ks = append(ks, key{kind: keyProduct, a: q.Product})
 	}
 	if q.HasCWE {
-		lists = append(lists, ix.lookup(key{kind: keyCWE, a: q.CWE.String()}))
+		ks = append(ks, key{kind: keyCWE, a: q.CWE.String()})
 	}
 	if q.HasSeverity {
-		lists = append(lists, ix.lookup(key{kind: keySeverity, a: q.Severity.String()}))
+		ks = append(ks, key{kind: keySeverity, a: q.Severity.String()})
 	}
 	if q.Year != 0 {
-		lists = append(lists, ix.lookup(key{kind: keyYear, a: strconv.Itoa(q.Year)}))
+		ks = append(ks, key{kind: keyYear, a: strconv.Itoa(q.Year)})
 	}
-	// Intersect smallest-first: every list is ordered, so each
-	// intersection is one linear merge bounded by the smaller side.
-	for i := 1; i < len(lists); i++ {
-		for j := i; j > 0 && len(lists[j]) < len(lists[j-1]); j-- {
-			lists[j], lists[j-1] = lists[j-1], lists[j]
+	ps := make([]*posting, 0, len(ks))
+	for _, k := range ks {
+		post, err := ix.shards[shardOf(k)].load()
+		if err != nil {
+			return nil, true, err
+		}
+		p := post[k]
+		if p == nil || p.count == 0 {
+			return nil, true, nil
+		}
+		ps = append(ps, p)
+	}
+	// Intersect smallest-first: each merge is bounded by the smaller
+	// side, and block skipping lets the sparse list drag the dense one
+	// past whole undecoded blocks.
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].count < ps[j-1].count; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
 		}
 	}
-	acc := lists[0]
-	for _, next := range lists[1:] {
+	if len(ps) == 1 {
+		ords, err := ps[0].decode(make([]uint32, 0, ps[0].count))
+		return ords, true, err
+	}
+	acc, err := intersectPostings(ps[0], ps[1], make([]uint32, 0, ps[0].count))
+	if err != nil {
+		return nil, true, err
+	}
+	for _, p := range ps[2:] {
 		if len(acc) == 0 {
-			return nil, true
+			return nil, true, nil
 		}
-		acc = intersect(acc, next)
+		if acc, err = intersectOrds(acc, p); err != nil {
+			return nil, true, err
+		}
 	}
-	return acc, true
+	return acc, true, nil
 }
 
-// intersect merges two ordered ID lists.
-func intersect(a, b []string) []string {
-	var out []string
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			out = append(out, a[i])
-			i++
-			j++
-		case cve.IDLess(a[i], b[j]):
-			i++
-		default:
-			j++
+// LoadAll eagerly parses every lazy shard (the -index-load=eager boot
+// path), returning the first parse failure.
+func (ix *Index) LoadAll(workers int) error {
+	var errs [numShards]error
+	parallel.For(workers, numShards, func(s int) {
+		_, errs[s] = ix.shards[s].load()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return out
+	return nil
+}
+
+// IndexStats is the /stats view of one generation's index.
+type IndexStats struct {
+	Shards        int   // total shards
+	LoadedShards  int   // shards parsed into posting maps
+	Keys          int   // distinct keys across loaded shards
+	Entries       int   // indexed snapshot length
+	ResidentBytes int64 // posting block bytes held by loaded shards
+	DiskBytes     int64 // segment bytes as persisted (0 if in-memory)
+	Format        int   // segment encode version
+}
+
+// Stats reports the index's load state and memory footprint.
+func (ix *Index) Stats() IndexStats {
+	st := IndexStats{Shards: numShards, Entries: len(ix.ids), Format: indexFormatVersion}
+	for _, sh := range ix.shards {
+		st.DiskBytes += int64(sh.diskBytes)
+		if sh.loaded.Load() {
+			st.LoadedShards++
+			st.Keys += len(sh.post)
+			st.ResidentBytes += int64(sh.dataBytes)
+		}
+	}
+	return st
+}
+
+// shardWire returns shard s's persisted form. A shard still carrying
+// its raw segment for the same snapshot length passes through verbatim
+// — persisting an untouched lazy shard decodes nothing; anything else
+// re-encodes canonically.
+func (ix *Index) shardWire(s int) ([]byte, error) {
+	sh := ix.shards[s]
+	if sh.raw != nil && sh.rawEntries == len(ix.ids) {
+		return sh.raw, nil
+	}
+	post, err := sh.load()
+	if err != nil {
+		return nil, err
+	}
+	size := len(indexMagic) + 16
+	for k, p := range post {
+		size += len(k.a) + len(k.b) + len(p.data) + 8 + 15*len(p.skips)
+	}
+	return appendShardWire(make([]byte, 0, size), len(ix.ids), post), nil
+}
+
+// indexFromSegments assembles a lazy Index from per-shard segment
+// payloads. Shards stay raw until first touched; only each segment's
+// header is read here, to pin every shard to the given snapshot length.
+func indexFromSegments(raws [numShards][]byte, cleaned *cve.Snapshot) (*Index, error) {
+	ix := &Index{ids: idsOf(cleaned)}
+	for s, raw := range raws {
+		entries, err := peekShardEntries(raw)
+		if err != nil {
+			return nil, err
+		}
+		if entries != len(ix.ids) {
+			return nil, fmt.Errorf("index segment %d indexes %d entries, snapshot has %d", s, entries, len(ix.ids))
+		}
+		ix.shards[s] = &shard{raw: raw, rawEntries: entries, diskBytes: len(raw)}
+	}
+	return ix, nil
 }

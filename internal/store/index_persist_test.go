@@ -1,0 +1,172 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// commitWithIndex commits a testCheckpoint carrying a built index over
+// its cleaned snapshot.
+func commitWithIndex(t *testing.T, s *Store) *Index {
+	t.Helper()
+	cp := testCheckpoint()
+	cp.Index = BuildIndex(cp.Cleaned, 4)
+	if err := s.Commit(cp); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	return cp.Index
+}
+
+// TestCheckpointIndexRoundTrip proves a committed index reloads as a
+// lazy index answering identically: no shard parses at load, segments
+// report their on-disk size, and every posting decodes to the bytes
+// the in-memory index held.
+func TestCheckpointIndexRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, _ := mustOpen(t, dir)
+	want := commitWithIndex(t, s)
+	s.Close()
+
+	_, cp, _, notes := mustOpen(t, dir)
+	if cp == nil {
+		t.Fatal("no checkpoint after commit")
+	}
+	if cp.Index == nil {
+		t.Fatalf("reloaded checkpoint has no index (note %q, notes %v)", cp.IndexNote, notes)
+	}
+	st := cp.Index.Stats()
+	if st.LoadedShards != 0 {
+		t.Fatalf("lazy index parsed %d shards at load", st.LoadedShards)
+	}
+	if st.DiskBytes == 0 {
+		t.Fatal("lazy index reports zero on-disk bytes")
+	}
+	if st.Entries != len(cp.Cleaned.Entries) {
+		t.Fatalf("index entries %d != cleaned %d", st.Entries, len(cp.Cleaned.Entries))
+	}
+	for s2 := range cp.Index.shards {
+		if !reflect.DeepEqual(decodedShard(t, cp.Index.shards[s2]), decodedShard(t, want.shards[s2])) {
+			t.Fatalf("shard %d diverged across persist/load", s2)
+		}
+	}
+	after := cp.Index.Stats()
+	if after.LoadedShards != numShards {
+		t.Fatalf("decoding every shard loaded %d/%d", after.LoadedShards, numShards)
+	}
+	if after.Keys == 0 || after.ResidentBytes == 0 {
+		t.Fatalf("loaded index stats empty: %+v", after)
+	}
+}
+
+// TestLegacyCheckpointWithoutIndex is the migration test: a checkpoint
+// committed by a pre-index-segment build (no index-NN.seg files, no
+// manifest entries for them) must load cleanly with a nil Index and no
+// note — the caller's BuildIndex fallback covers it.
+func TestLegacyCheckpointWithoutIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, _ := mustOpen(t, dir)
+	if err := s.Commit(testCheckpoint()); err != nil { // no Index attached
+		t.Fatalf("Commit: %v", err)
+	}
+	s.Close()
+
+	_, cp, _, notes := mustOpen(t, dir)
+	if cp == nil {
+		t.Fatalf("legacy checkpoint did not load (notes %v)", notes)
+	}
+	if cp.Index != nil {
+		t.Fatal("checkpoint without segments produced an index")
+	}
+	if cp.IndexNote != "" {
+		t.Fatalf("legacy checkpoint raised index note %q", cp.IndexNote)
+	}
+}
+
+// TestPartialIndexSegmentsFallBack proves index trouble never fails
+// the checkpoint: with some segments missing from the manifest, the
+// checkpoint loads, the index is nil, and recovery notes say why.
+func TestPartialIndexSegmentsFallBack(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, _ := mustOpen(t, dir)
+	commitWithIndex(t, s)
+	genDir := filepath.Join(dir, genName(s.Generation()))
+	s.Close()
+
+	// Surgically drop three segments: remove the files and their
+	// manifest entries (the manifest must stay consistent, or the
+	// checkpoint itself is rightly rejected).
+	mPath := filepath.Join(genDir, manifestFile)
+	mb, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range []int{0, 7, 15} {
+		name := indexSegName(seg)
+		if _, ok := m.Files[name]; !ok {
+			t.Fatalf("manifest lists no %s", name)
+		}
+		delete(m.Files, name)
+		if err := os.Remove(filepath.Join(genDir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mb, err = json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mPath, mb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, cp, _, notes := mustOpen(t, dir)
+	if cp == nil {
+		t.Fatalf("checkpoint with partial index segments did not load (notes %v)", notes)
+	}
+	if cp.Index != nil {
+		t.Fatal("partial segment set still produced an index")
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "index segments incomplete") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no recovery note about the partial index: %v", notes)
+	}
+}
+
+// TestIndexSegmentSizeGuard is the checkpoint-size regression bound:
+// persisted index segments must stay within a recorded bytes-per-entry
+// budget on a realistic synthetic snapshot. The old map[key][]string
+// representation costs 16+ bytes per posting element before string
+// data; delta-varint blocks hold dense postings near 1 byte/element,
+// so total segment bytes per entry stays in the low tens even with
+// per-key headers. Raising this bound is a format regression — justify
+// it in the commit that does.
+func TestIndexSegmentSizeGuard(t *testing.T) {
+	const maxBytesPerEntry = 16.0 // measured ~6.9 on this snapshot
+	snap := indexSnapshot(3000)
+	ix := BuildIndex(snap, 4)
+	total := 0
+	for s := 0; s < numShards; s++ {
+		wire, err := ix.shardWire(s)
+		if err != nil {
+			t.Fatalf("shardWire(%d): %v", s, err)
+		}
+		total += len(wire)
+	}
+	perEntry := float64(total) / float64(len(snap.Entries))
+	t.Logf("index segments: %d bytes over %d entries = %.2f bytes/entry", total, len(snap.Entries), perEntry)
+	if perEntry > maxBytesPerEntry {
+		t.Fatalf("index segments cost %.2f bytes/entry, budget %.1f", perEntry, maxBytesPerEntry)
+	}
+}

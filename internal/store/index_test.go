@@ -103,11 +103,47 @@ func queryGrid() []Query {
 	return qs
 }
 
+// matchIDs resolves Match's ordinals against the indexed snapshot.
+func matchIDs(t *testing.T, ix *Index, snap *cve.Snapshot, q Query) ([]string, bool) {
+	t.Helper()
+	ords, filtered, err := ix.Match(q)
+	if err != nil {
+		t.Fatalf("Match(%+v): %v", q, err)
+	}
+	if !filtered {
+		return nil, false
+	}
+	var out []string
+	for _, o := range ords {
+		out = append(out, snap.Entries[o].ID)
+	}
+	return out, true
+}
+
+// decodedShard materializes one shard's posting map into plain ordinal
+// slices for comparison.
+func decodedShard(t *testing.T, sh *shard) map[key][]uint32 {
+	t.Helper()
+	post, err := sh.load()
+	if err != nil {
+		t.Fatalf("shard load: %v", err)
+	}
+	out := make(map[key][]uint32, len(post))
+	for k, p := range post {
+		ords, err := p.decode(nil)
+		if err != nil {
+			t.Fatalf("decode posting %+v: %v", k, err)
+		}
+		out[k] = ords
+	}
+	return out
+}
+
 func TestIndexMatchesLinearScan(t *testing.T) {
 	snap := indexSnapshot(300)
 	ix := BuildIndex(snap, 4)
 	for _, q := range queryGrid() {
-		got, filtered := ix.Match(q)
+		got, filtered := matchIDs(t, ix, snap, q)
 		if !q.Filtered() {
 			if filtered {
 				t.Fatalf("empty query reported filtered")
@@ -130,23 +166,39 @@ func TestIndexWorkerInvariance(t *testing.T) {
 	for _, w := range []int{2, 3, 8} {
 		ix := BuildIndex(snap, w)
 		for s := range base.shards {
-			if !reflect.DeepEqual(base.shards[s].post, ix.shards[s].post) {
+			if !reflect.DeepEqual(decodedShard(t, base.shards[s]), decodedShard(t, ix.shards[s])) {
 				t.Fatalf("shard %d differs between workers 1 and %d", s, w)
 			}
 		}
 	}
 }
 
-// TestIndexUpdate proves incremental maintenance: updating with a
-// delta yields exactly the index a full rebuild of the new snapshot
-// would, the old index is untouched, and unaffected shards are shared.
+// checkIndexEqual asserts two indexes hold identical postings and the
+// same ordinal→ID table.
+func checkIndexEqual(t *testing.T, got, want *Index) {
+	t.Helper()
+	if !reflect.DeepEqual(got.ids, want.ids) {
+		t.Fatalf("ordinal tables differ: %d vs %d ids", len(got.ids), len(want.ids))
+	}
+	for s := range want.shards {
+		if !reflect.DeepEqual(decodedShard(t, got.shards[s]), decodedShard(t, want.shards[s])) {
+			t.Errorf("shard %d: postings diverge", s)
+		}
+	}
+}
+
+// TestIndexUpdate proves incremental maintenance under re-ordination:
+// a delta whose insertions land in the middle of the ordinal space
+// (every later ordinal shifts) still yields exactly the index a full
+// rebuild of the new snapshot would, and the old index is untouched.
 func TestIndexUpdate(t *testing.T) {
 	snap := indexSnapshot(200)
 	ix := BuildIndex(snap, 4)
 
 	next := snap.Clone()
 	// Remove one entry, modify another (vendor rename + severity
-	// change), add two new ones.
+	// change), add two new ones — one after every existing entry, one
+	// before all of them (a front insertion shifts every ordinal).
 	removedID := next.Entries[10].ID
 	next.Entries = append(next.Entries[:10], next.Entries[11:]...)
 	mod := next.Entries[20]
@@ -168,36 +220,78 @@ func TestIndexUpdate(t *testing.T) {
 		prevByID[e.ID] = e
 	}
 
-	before := make([]map[key][]string, numShards)
+	before := make([]map[key][]uint32, numShards)
 	for s := range ix.shards {
-		before[s] = make(map[key][]string, len(ix.shards[s].post))
-		for k, ids := range ix.shards[s].post {
-			before[s][k] = append([]string(nil), ids...)
-		}
+		before[s] = decodedShard(t, ix.shards[s])
 	}
 
-	got := ix.Update(d, func(id string) *cve.Entry { return prevByID[id] }, 4)
-	want := BuildIndex(next, 4)
-	shared := 0
-	for s := range want.shards {
-		if !reflect.DeepEqual(got.shards[s].post, want.shards[s].post) {
-			t.Errorf("shard %d: incremental update diverges from full rebuild", s)
-		}
-		if got.shards[s] == ix.shards[s] {
-			shared++
+	got, err := ix.Update(d, func(id string) *cve.Entry { return prevByID[id] }, next, 4)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	checkIndexEqual(t, got, BuildIndex(next, 4))
+	for s := range ix.shards {
+		if !reflect.DeepEqual(decodedShard(t, ix.shards[s]), before[s]) {
+			t.Errorf("shard %d of the previous index was mutated", s)
 		}
 	}
-	for s := range ix.shards {
-		if !reflect.DeepEqual(ix.shards[s].post, before[s]) {
-			t.Errorf("shard %d of the previous index was mutated", s)
+	got2, err := ix.Update(&cve.Delta{}, func(string) *cve.Entry { return nil }, snap, 4)
+	if err != nil {
+		t.Fatalf("empty Update: %v", err)
+	}
+	if got2 != ix {
+		t.Error("empty delta should return the receiver")
+	}
+}
+
+// TestIndexUpdateSharing proves copy-on-write under the common CVE feed
+// shape: additions whose IDs sort after every existing entry keep the
+// re-ordination an identity, so every shard the delta's keys don't
+// touch is shared pointer-for-pointer with the previous index.
+func TestIndexUpdateSharing(t *testing.T) {
+	snap := indexSnapshot(200)
+	ix := BuildIndex(snap, 4)
+
+	next := snap.Clone()
+	added := testEntry(2019, 500, "globex", "kernel", []int{79}, v2High, "")
+	next.Entries = append(next.Entries, added)
+	next.Sort()
+
+	d := cve.Diff(snap, next)
+	prevByID := make(map[string]*cve.Entry, len(snap.Entries))
+	for _, e := range snap.Entries {
+		prevByID[e.ID] = e
+	}
+	got, err := ix.Update(d, func(id string) *cve.Entry { return prevByID[id] }, next, 4)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	checkIndexEqual(t, got, BuildIndex(next, 4))
+	shared := 0
+	for s := range got.shards {
+		if got.shards[s] == ix.shards[s] {
+			shared++
 		}
 	}
 	if shared == 0 {
 		t.Error("no shard was shared between generations (copy-on-write defeated)")
 	}
-	if got2 := ix.Update(&cve.Delta{}, func(string) *cve.Entry { return nil }, 4); got2 != ix {
-		t.Error("empty delta should return the receiver")
+
+	// A removal mid-snapshot bounds sharing by the shift point instead
+	// of defeating it: shards whose postings stay below the removed
+	// ordinal — and that the removal's keys don't touch — are shared.
+	next2 := snap.Clone()
+	removedID := next2.Entries[150].ID
+	next2.Entries = append(next2.Entries[:150], next2.Entries[151:]...)
+	d2 := cve.Diff(snap, next2)
+	if len(d2.Removed) != 1 || d2.Removed[0] != removedID {
+		t.Fatalf("unexpected removal delta: %+v", d2.Removed)
 	}
+	got2, err := ix.Update(d2, func(id string) *cve.Entry { return prevByID[id] }, next2, 4)
+	if err != nil {
+		t.Fatalf("Update (removal): %v", err)
+	}
+	checkIndexEqual(t, got2, BuildIndex(next2, 4))
 }
 
 // TestShardBoundarySeparation is the regression test for the shardOf
@@ -268,18 +362,30 @@ func TestShardDistribution(t *testing.T) {
 	}
 }
 
-func TestInsertRemoveID(t *testing.T) {
-	var list []string
-	for _, seq := range []int{5, 1, 9, 3, 5} {
-		list = insertID(list, cve.FormatID(2017, seq))
+// TestEntryKeysExactCapacity is the regression test for the entryKeys
+// pre-sizing fix: duplicate-heavy CPE lists must not over-allocate, and
+// the emitted key set must be exactly the distinct keys in
+// first-appearance order.
+func TestEntryKeysExactCapacity(t *testing.T) {
+	e := testEntry(2017, 1, "redhat", "kernel", []int{79, 79, 89}, v2High, v3Crit)
+	// Duplicate the same CPE name many times: 3*len(CPEs) would
+	// reserve 30 key slots for what dedups to 3.
+	for i := 0; i < 9; i++ {
+		e.CPEs = append(e.CPEs, e.CPEs[0])
 	}
-	want := []string{"CVE-2017-0001", "CVE-2017-0003", "CVE-2017-0005", "CVE-2017-0009"}
-	if !reflect.DeepEqual(list, want) {
-		t.Fatalf("insertID: %v", list)
+	keys := entryKeys(e)
+	if len(keys) != cap(keys) {
+		t.Errorf("entryKeys allocated %d slots for %d keys", cap(keys), len(keys))
 	}
-	list = removeID(list, "CVE-2017-0003")
-	list = removeID(list, "CVE-2017-9999")
-	if fmt.Sprint(list) != "[CVE-2017-0001 CVE-2017-0005 CVE-2017-0009]" {
-		t.Fatalf("removeID: %v", list)
+	seen := make(map[key]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			t.Errorf("duplicate key %+v", k)
+		}
+		seen[k] = true
+	}
+	// vendor + product + pair + 2 CWEs + severity + year.
+	if len(keys) != 7 {
+		t.Errorf("got %d keys, want 7: %+v", len(keys), keys)
 	}
 }

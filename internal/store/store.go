@@ -124,6 +124,16 @@ type Checkpoint struct {
 	Products *naming.ProductMap
 	Engine   *predict.Engine
 	State    *State
+	// Index is the generation's query index. On commit, a non-nil
+	// Index persists as per-shard segment files; on load, it is
+	// assembled lazily from them (shards stay raw bytes until first
+	// queried). Nil on legacy checkpoints without index segments —
+	// callers fall back to one in-memory BuildIndex.
+	Index *Index
+	// IndexNote is filled on load when index segments were present but
+	// unusable (and Index is therefore nil): the checkpoint itself is
+	// still good, only the index needs rebuilding.
+	IndexNote string
 }
 
 // manifest closes a checkpoint directory: it is written last, so its
@@ -234,6 +244,9 @@ func pickCheckpoint(dir string, notes *[]string) (*Checkpoint, error) {
 	if name, err := readCurrent(dir); err == nil && name != "" {
 		cp, err := loadCheckpoint(filepath.Join(dir, name))
 		if err == nil {
+			if cp.IndexNote != "" {
+				*notes = append(*notes, fmt.Sprintf("checkpoint %s: %s", name, cp.IndexNote))
+			}
 			return cp, nil
 		}
 		*notes = append(*notes, fmt.Sprintf("checkpoint %s (CURRENT): %v", name, err))
@@ -247,6 +260,9 @@ func pickCheckpoint(dir string, notes *[]string) (*Checkpoint, error) {
 		if err != nil {
 			*notes = append(*notes, fmt.Sprintf("checkpoint %s: %v", name, err))
 			continue
+		}
+		if cp.IndexNote != "" {
+			*notes = append(*notes, fmt.Sprintf("checkpoint %s: %s", name, cp.IndexNote))
 		}
 		*notes = append(*notes, fmt.Sprintf("recovered from checkpoint %s", name))
 		return cp, nil
@@ -505,6 +521,25 @@ func (s *Store) CommitSealed(cp *Checkpoint, seq uint64) error {
 			return write(engineFile, func(w io.Writer) error { return cp.Engine.WriteJSON(w) })
 		})
 	}
+	if cp.Index != nil {
+		if cp.Index.Entries() != len(cp.Cleaned.Entries) {
+			return fmt.Errorf("store: index covers %d entries, cleaned snapshot has %d",
+				cp.Index.Entries(), len(cp.Cleaned.Entries))
+		}
+		for s := 0; s < numShards; s++ {
+			s := s
+			g.Go(func() error {
+				wire, err := cp.Index.shardWire(s)
+				if err != nil {
+					return fmt.Errorf("store: encoding index shard %d: %w", s, err)
+				}
+				return write(indexSegName(s), func(w io.Writer) error {
+					_, err := w.Write(wire)
+					return err
+				})
+			})
+		}
+	}
 	if err := g.Wait(); err != nil {
 		return err
 	}
@@ -714,5 +749,34 @@ func loadCheckpoint(path string) (*Checkpoint, error) {
 	if err := g.Wait(); err != nil {
 		return nil, err
 	}
+	cp.Index, cp.IndexNote = loadIndexSegments(files, cp.Cleaned)
 	return cp, nil
+}
+
+// loadIndexSegments assembles the checkpoint's lazy index from its
+// segment files (already CRC-verified against the manifest). Index
+// trouble never fails the checkpoint: a legacy checkpoint with no
+// segments returns a silent nil, and a partial or mismatched segment
+// set returns nil with a note — either way the caller rebuilds in
+// memory.
+func loadIndexSegments(files map[string][]byte, cleaned *cve.Snapshot) (*Index, string) {
+	var raws [numShards][]byte
+	found := 0
+	for s := range raws {
+		if data, ok := files[indexSegName(s)]; ok {
+			raws[s] = data
+			found++
+		}
+	}
+	if found == 0 {
+		return nil, ""
+	}
+	if found < numShards {
+		return nil, fmt.Sprintf("index segments incomplete (%d/%d); index will be rebuilt", found, numShards)
+	}
+	ix, err := indexFromSegments(raws, cleaned)
+	if err != nil {
+		return nil, fmt.Sprintf("index segments unusable (%v); index will be rebuilt", err)
+	}
+	return ix, ""
 }
