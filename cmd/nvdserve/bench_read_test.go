@@ -171,3 +171,56 @@ func BenchmarkReadQueryCached(b *testing.B) {
 		return httptest.NewRequest("GET", readQueryPath, nil)
 	}, http.StatusOK)
 }
+
+// BenchmarkMetricsScrape measures one full /metrics render under the
+// same concurrent-client harness: every registered family snapshotted,
+// sampled, sorted, and written. This is the per-scrape cost a
+// Prometheus server imposes at its scrape interval — it should sit in
+// the tens of microseconds, invisible next to a 10s+ interval.
+func BenchmarkMetricsScrape(b *testing.B) {
+	srv, handler := benchReadServer(b, true)
+	// Populate labeled children the way a live server would have them:
+	// a few hits per route so the scrape renders realistic series.
+	for _, id := range cveTargets(srv) {
+		w := httptest.NewRecorder()
+		handler.ServeHTTP(w, httptest.NewRequest("GET", "/cve/"+id, nil))
+	}
+	for _, path := range []string{readQueryPath, "/stats", "/readyz", "/metrics"} {
+		w := httptest.NewRecorder()
+		handler.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+	}
+	benchServe(b, handler, func(i int) *http.Request {
+		return httptest.NewRequest("GET", "/metrics", nil)
+	}, http.StatusOK)
+}
+
+// benchBareHandler builds the same mux as server.handler but without
+// the metrics middleware — the control for measuring instrumentation
+// overhead inside one benchmark invocation, where host-speed drift
+// between runs cannot pollute the comparison.
+func benchBareHandler(srv *server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cve/{id}", srv.handleCVE)
+	mux.HandleFunc("GET /query", srv.handleQuery)
+	return mux
+}
+
+// BenchmarkReadCVECachedBare is BenchmarkReadCVECached minus the
+// middleware. The p50 gap between the two, taken from the same run, is
+// the per-request cost of instrumentation.
+func BenchmarkReadCVECachedBare(b *testing.B) {
+	srv, _ := benchReadServer(b, true)
+	ids := cveTargets(srv)
+	benchServe(b, benchBareHandler(srv), func(i int) *http.Request {
+		return httptest.NewRequest("GET", "/cve/"+ids[i%len(ids)], nil)
+	}, http.StatusOK)
+}
+
+// BenchmarkReadQueryCachedBare is BenchmarkReadQueryCached minus the
+// middleware.
+func BenchmarkReadQueryCachedBare(b *testing.B) {
+	srv, _ := benchReadServer(b, true)
+	benchServe(b, benchBareHandler(srv), func(i int) *http.Request {
+		return httptest.NewRequest("GET", readQueryPath, nil)
+	}, http.StatusOK)
+}

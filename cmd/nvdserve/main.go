@@ -62,6 +62,8 @@ type serveConfig struct {
 	queryCacheBytes           int
 	readCache                 bool
 	indexLoad                 string
+	pprofAddr                 string
+	drainWait                 time.Duration
 }
 
 func main() {
@@ -82,6 +84,8 @@ func main() {
 	flag.IntVar(&cfg.queryCacheBytes, "query-cache-bytes", defaultQueryCacheBytes, "per-generation /query response cache cap, in bytes (0: disabled)")
 	flag.BoolVar(&cfg.readCache, "read-cache", true, "serve reads from per-generation pre-encoded response caches")
 	flag.StringVar(&cfg.indexLoad, "index-load", "lazy", "checkpoint index loading: lazy (shards parse on first query) or eager (parse all at boot)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate listener (empty: disabled; profiling never shares the serving port)")
+	flag.DurationVar(&cfg.drainWait, "drain-wait", 500*time.Millisecond, "how long /readyz reports 503 before the listener closes on shutdown, so load balancers drain first (0: immediate)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -181,6 +185,11 @@ func run(cfg serveConfig) error {
 	srv.maxFeedBytes = cfg.maxFeedBytes
 	srv.queryCacheBytes = cfg.queryCacheBytes
 	srv.readCache = cfg.readCache
+	if persist != nil {
+		// Every checkpoint commit — boot, -compact-sync inline, or
+		// background — reports its wall time into the scrape surface.
+		persist.SetCommitObserver(srv.obs.observeCheckpoint)
+	}
 	if persist != nil && !compactSync {
 		// Background compaction: POST /feed seals the delta log and
 		// enqueues the checkpoint; the committer pays the write. Closed
@@ -244,6 +253,21 @@ func run(cfg serveConfig) error {
 		}
 	}
 
+	// Profiling rides a separate listener so a heap dump or 30-second
+	// trace can never contend with — or be exposed on — the serving
+	// port; empty -pprof-addr compiles the handlers in but binds
+	// nothing.
+	if cfg.pprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		ps := &http.Server{Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = ps.Serve(pln) }()
+		defer ps.Close()
+		fmt.Printf("nvdserve: pprof listening on http://%s/debug/pprof/\n", pln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -270,6 +294,19 @@ func run(cfg serveConfig) error {
 		return err
 	case <-ctx.Done():
 		fmt.Println("nvdserve: shutting down")
+		// Flip readiness before touching the listener: /readyz answers
+		// 503 (with Retry-After) while every other route still serves,
+		// so a fronting load balancer sees the drain signal and stops
+		// routing here. Only after the drain window does Shutdown close
+		// the listener and wait out in-flight requests.
+		srv.draining.Store(true)
+		if cfg.drainWait > 0 {
+			select {
+			case <-time.After(cfg.drainWait):
+			case err := <-errCh:
+				return err
+			}
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		return hs.Shutdown(shutdownCtx)

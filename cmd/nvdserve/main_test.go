@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -423,15 +424,44 @@ func (d *daemon) get(t *testing.T, path string, out any) int {
 	return resp.StatusCode
 }
 
-// shutdown delivers SIGINT and asserts the daemon drains and exits
-// cleanly, printing its shutdown line. The pipe is drained to EOF
-// before Wait — Wait closes the pipe, so calling it while the scanner
-// still reads would race away buffered output.
-func (d *daemon) shutdown(t *testing.T) {
+// getRaw fetches a path without decoding, for non-JSON surfaces like
+// /metrics.
+func (d *daemon) getRaw(t *testing.T, path string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header, string(b)
+}
+
+// signal delivers SIGINT without waiting, so a test can observe the
+// drain window before the process exits.
+func (d *daemon) signal(t *testing.T) {
 	t.Helper()
 	if err := d.cmd.Process.Signal(os.Interrupt); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// shutdown delivers SIGINT and asserts the daemon drains and exits
+// cleanly, printing its shutdown line.
+func (d *daemon) shutdown(t *testing.T) {
+	t.Helper()
+	d.signal(t)
+	d.awaitExit(t)
+}
+
+// awaitExit drains the output pipe to EOF and asserts a clean exit.
+// The pipe is drained before Wait — Wait closes the pipe, so calling
+// it while the scanner still reads would race away buffered output.
+func (d *daemon) awaitExit(t *testing.T) {
+	t.Helper()
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -472,7 +502,9 @@ func TestNvdserveSmoke(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
-	d := startDaemon(t, ctx, buildNvdserve(t), "-demo", "tiny")
+	// A generous -drain-wait so the test can observe the drain window
+	// between SIGINT and listener close.
+	d := startDaemon(t, ctx, buildNvdserve(t), "-demo", "tiny", "-drain-wait", "3s")
 
 	var health map[string]any
 	if code := d.get(t, "/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
@@ -494,8 +526,68 @@ func TestNvdserveSmoke(t *testing.T) {
 	if view["id"] != q.Results[0].ID {
 		t.Fatalf("served %v, want %s", view["id"], q.Results[0].ID)
 	}
-	// Graceful shutdown: in-flight requests drain, the process exits 0.
-	d.shutdown(t)
+
+	// Probe split: liveness and readiness both green on a loaded daemon.
+	var probe map[string]any
+	if code := d.get(t, "/livez", &probe); code != http.StatusOK || probe["status"] != "ok" {
+		t.Fatalf("/livez = %d %v", code, probe)
+	}
+	if code := d.get(t, "/readyz", &probe); code != http.StatusOK || probe["status"] != "ok" {
+		t.Fatalf("/readyz = %d %v", code, probe)
+	}
+
+	// The Prometheus surface over real HTTP: exposition content type
+	// and a key family from each layer present by name — even without
+	// -data-dir the store families render (as zeros) so dashboards keep
+	// one stable scrape shape.
+	code, hdr, metrics := d.getRaw(t, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.HasPrefix(hdr.Get("Content-Type"), "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", hdr.Get("Content-Type"))
+	}
+	for _, fam := range []string{
+		"nvdserve_http_requests_total",
+		"nvdserve_store_commit_queue_depth",
+		"nvdserve_generation_age_seconds",
+	} {
+		if !strings.Contains(metrics, "# TYPE "+fam+" ") {
+			t.Errorf("/metrics missing family %s", fam)
+		}
+	}
+
+	// Graceful shutdown with a drain window: after SIGINT readiness
+	// flips 503 + Retry-After while the listener stays up (so load
+	// balancers stop routing before connections die), then exit 0.
+	d.signal(t)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(d.base + "/readyz")
+		if err != nil {
+			t.Fatalf("daemon dropped connections before the drain window closed: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		code := resp.StatusCode
+		retry := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			if retry == "" {
+				t.Error("draining /readyz carries no Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readiness never flipped to 503 after SIGINT")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// Ordinary routes still answer inside the window: the drain exists
+	// so traffic already routed here completes.
+	if code := d.get(t, "/query?limit=1", &q); code != http.StatusOK {
+		t.Errorf("/query during drain = %d, want 200", code)
+	}
+	d.awaitExit(t)
 }
 
 // TestNvdserveWarmRestartSmoke is the CI warm-restart step: run the

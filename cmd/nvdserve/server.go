@@ -85,6 +85,15 @@ type server struct {
 	// generations for /stats.
 	maxFeedBytes int64
 	metrics      *respcache.Metrics
+	// obs is the Prometheus surface (/metrics plus the request
+	// middleware); like metrics it lives outside serveState so no
+	// generation swap can reset a time series.
+	obs *serverMetrics
+	// draining flips when shutdown begins: /readyz turns 503 (with
+	// Retry-After) while in-flight and newly-arriving requests still
+	// serve, giving a fronting load balancer a drain signal before the
+	// listener closes.
+	draining atomic.Bool
 }
 
 // Default resource bounds, overridable by flags.
@@ -94,7 +103,7 @@ const (
 )
 
 func newServer(opts nvdclean.Options) *server {
-	return &server{
+	s := &server{
 		opts:            opts,
 		bootEpoch:       uint64(time.Now().UnixNano()),
 		readCache:       true,
@@ -102,6 +111,10 @@ func newServer(opts nvdclean.Options) *server {
 		maxFeedBytes:    defaultMaxFeedBytes,
 		metrics:         &respcache.Metrics{},
 	}
+	// The registry's gauge closures read s.persist/s.committer/s.cur
+	// dynamically, so building it before those are assigned is fine.
+	s.obs = newServerMetrics(s)
+	return s
 }
 
 // load runs the full pipeline on snap and installs the result as the
@@ -211,15 +224,33 @@ func staleIDs(deltas ...*nvdclean.Delta) map[string]bool {
 	return stale
 }
 
-// handler builds the HTTP mux.
+// handler builds the HTTP mux. Every route passes through the metrics
+// middleware under its pattern label (never the raw URL — /cve/{id} is
+// one time series however many IDs exist); the catch-all keeps 404s
+// visible in the same families instead of bypassing instrumentation.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /cve/{id}", s.handleCVE)
-	mux.HandleFunc("GET /query", s.handleQuery)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /feed", s.handleFeed)
+	i := s.obs.instrument
+	mux.HandleFunc("GET /livez", i("/livez", "GET", s.handleLivez))
+	mux.HandleFunc("GET /readyz", i("/readyz", "GET", s.handleReadyz))
+	// /healthz predates the liveness/readiness split and aliases
+	// /readyz: every pre-split health checker was really asking "can
+	// this process serve?", which is readiness.
+	mux.HandleFunc("GET /healthz", i("/healthz", "GET", s.handleReadyz))
+	mux.HandleFunc("GET /metrics", i("/metrics", "GET", s.handleMetrics))
+	mux.HandleFunc("GET /cve/{id}", i("/cve/{id}", "GET", s.handleCVE))
+	mux.HandleFunc("GET /query", i("/query", "GET", s.handleQuery))
+	mux.HandleFunc("GET /stats", i("/stats", "GET", s.handleStats))
+	mux.HandleFunc("POST /feed", i("/feed", "POST", s.handleFeed))
+	mux.HandleFunc("/", i("other", "any", s.handleFallback))
 	return mux
+}
+
+// handleFallback answers requests no route matched — instrumented
+// under the "other" route label so scans and typos show up in the
+// request families rather than vanishing.
+func (s *server) handleFallback(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 }
 
 // writeJSON renders non-cacheable responses — errors, feed summaries,
@@ -244,12 +275,41 @@ func (s *server) state(w http.ResponseWriter) *serveState {
 	return st
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := s.cur.Load()
-	if st == nil {
-		writeError(w, http.StatusServiceUnavailable, "loading")
+// ready reports whether the daemon should receive traffic; the reason
+// names what blocks it ("loading" until the first generation installs,
+// "draining" once shutdown begins).
+func (s *server) ready() (bool, string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	if s.cur.Load() == nil {
+		return false, "loading"
+	}
+	return true, ""
+}
+
+// handleLivez is the liveness probe: 200 whenever the process can
+// answer at all — even before the first generation installs and while
+// draining. Restarting a pod for being not-yet-ready or mid-drain is
+// exactly the failure mode the liveness/readiness split exists to
+// avoid; only a hung process should fail this probe.
+func (s *server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe (also serving the legacy
+// /healthz path): 503 until the boot restore or first clean installs a
+// generation, and 503 again — with Retry-After — once shutdown drain
+// begins, so a fronting load balancer stops routing before the
+// listener closes. The ready body keeps the historical healthz shape
+// (status/entries/generation) with its generation validator.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if ok, reason := s.ready(); !ok {
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": reason})
 		return
 	}
+	st := s.cur.Load()
 	pretty, err := parsePretty(r.URL.Query())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -783,6 +843,10 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	}
 	s.maybeCompact(res, next.idx, summary)
 	s.cur.Store(next)
+	// Observed after the swap so the histogram matches what a client
+	// actually waited for a visible generation change.
+	s.obs.ingestDeltaEntries.Observe(float64(delta.Size()))
+	s.obs.ingestSwapSeconds.Observe(time.Since(start).Seconds())
 
 	summary["changed"] = delta.Size()
 	summary["entries"] = res.Cleaned.Len()

@@ -1,0 +1,19 @@
+package obs
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// Nanotime returns the runtime's monotonic clock in nanoseconds.
+//
+// time.Now reads both the wall and monotonic clocks and packs them
+// into a struct; on the virtualized hosts this daemon targets that is
+// ~65ns per call, which a per-request latency measurement pays twice.
+// Request instrumentation only ever subtracts two readings, so the
+// wall half is pure waste. runtime.nanotime is the monotonic half
+// alone (~40ns here) and is the same clock the runtime timestamps its
+// own events with; the linkname is long-stable and grandfathered by
+// the linker's checklinkname list.
+//
+//go:linkname Nanotime runtime.nanotime
+func Nanotime() int64

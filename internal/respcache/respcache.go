@@ -36,7 +36,11 @@ import (
 
 // Metrics holds cumulative cache counters. One Metrics instance is
 // shared by every generation's caches so the numbers survive swaps.
-// All fields are atomics; read them with Load.
+// All fields are atomics; read them with Load. These atomics are the
+// single source of truth for the cache counters on BOTH operational
+// surfaces — the /stats JSON and the Prometheus /metrics families
+// (re-exported there through sample-at-scrape closures, never copied)
+// — so the two can never disagree and nothing resets on a swap.
 type Metrics struct {
 	// EntryHits / EntryMisses count /cve/{id} lookups served from vs
 	// filled into the entry cache. A seeded (copied-forward) byte

@@ -34,6 +34,7 @@ type Committer struct {
 	committed  int
 	retries    int
 	lastErr    string
+	lastErrAt  time.Time
 
 	kick     chan struct{}
 	stop     chan struct{}
@@ -60,6 +61,10 @@ type CommitterStats struct {
 	// LastError is the most recent commit failure, cleared by the next
 	// success.
 	LastError string `json:"lastError,omitempty"`
+	// LastErrorUnix is the Unix time LastError was recorded (0 when
+	// there is none): an operator reading /stats can tell a stale error
+	// — long since retried past — from a live one without tailing logs.
+	LastErrorUnix int64 `json:"lastErrorUnix,omitempty"`
 }
 
 // NewCommitter starts a background committer for s. Close it before
@@ -103,12 +108,16 @@ func (c *Committer) Enqueue(cp *Checkpoint, seq uint64) {
 func (c *Committer) Stats() CommitterStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CommitterStats{
+	st := CommitterStats{
 		Pending:   c.pending != nil || c.inflight,
 		Committed: c.committed,
 		Retries:   c.retries,
 		LastError: c.lastErr,
 	}
+	if !c.lastErrAt.IsZero() {
+		st.LastErrorUnix = c.lastErrAt.Unix()
+	}
+	return st
 }
 
 // Close stops the committer, waiting for an in-flight commit to finish
@@ -145,12 +154,14 @@ func (c *Committer) loop() {
 			if err == nil {
 				c.committed++
 				c.lastErr = ""
+				c.lastErrAt = time.Time{}
 				c.mu.Unlock()
 				failures = 0
 				continue
 			}
 			c.retries++
 			c.lastErr = err.Error()
+			c.lastErrAt = time.Now()
 			// Re-enqueue the failed checkpoint unless a newer one
 			// arrived while we were writing.
 			if c.pending == nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -308,6 +309,12 @@ func TestCommitterRetryAndSupersede(t *testing.T) {
 	if s.Generation() != 1 {
 		t.Fatalf("failed commit advanced the generation to %d", s.Generation())
 	}
+	// A live error carries its timestamp, so /stats readers can age it.
+	if st := c.Stats(); st.LastErrorUnix == 0 {
+		t.Errorf("failing commit recorded no lastErrorUnix: %+v", st)
+	} else if age := time.Now().Unix() - st.LastErrorUnix; age < 0 || age > 60 {
+		t.Errorf("lastErrorUnix implausibly old: age %ds", age)
+	}
 	// The sealed segment is still intact — durability never depended
 	// on the queue.
 	if s.SealedSegments() != 1 {
@@ -321,4 +328,44 @@ func TestCommitterRetryAndSupersede(t *testing.T) {
 	if st := c.Stats(); st.Committed != 1 {
 		t.Errorf("stats after recovery: %+v", st)
 	}
+	if st := c.Stats(); st.LastErrorUnix != 0 {
+		t.Errorf("successful commit did not clear lastErrorUnix: %+v", st)
+	}
+}
+
+// TestCommitObserver proves the commit observer fires on both the
+// synchronous and failure paths with a plausible duration — the hook
+// the daemon's checkpoint-duration histogram hangs off.
+func TestCommitObserver(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, _ := mustOpen(t, dir)
+	var mu sync.Mutex
+	type obsCall struct {
+		d   time.Duration
+		err error
+	}
+	var calls []obsCall
+	s.SetCommitObserver(func(d time.Duration, err error) {
+		mu.Lock()
+		calls = append(calls, obsCall{d, err})
+		mu.Unlock()
+	})
+	if err := s.Commit(testCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitSealed(&Checkpoint{}, 0); err == nil {
+		t.Fatal("incomplete checkpoint committed")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 2 {
+		t.Fatalf("observer fired %d times, want 2", len(calls))
+	}
+	if calls[0].err != nil || calls[0].d < 0 {
+		t.Errorf("successful commit observed as %v after %v", calls[0].err, calls[0].d)
+	}
+	if calls[1].err == nil {
+		t.Error("failed commit observed without its error")
+	}
+	s.Close()
 }

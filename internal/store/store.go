@@ -172,6 +172,20 @@ type Store struct {
 	// commitMu serializes checkpoint commits (the boot-path Commit
 	// against a background CommitSealed).
 	commitMu sync.Mutex
+	// commitObs, when set, observes every CommitSealed outcome — wall
+	// time and error — so the daemon can feed a checkpoint-duration
+	// histogram without the store importing a metrics package.
+	commitObs func(time.Duration, error)
+}
+
+// SetCommitObserver installs fn to be called after every CommitSealed
+// (the funnel both the synchronous Commit and the background committer
+// go through) with the commit's duration and outcome. fn must be safe
+// for concurrent use; set it before commits start.
+func (s *Store) SetCommitObserver(fn func(time.Duration, error)) {
+	s.mu.Lock()
+	s.commitObs = fn
+	s.mu.Unlock()
 }
 
 // Open opens (creating if needed) the store at dir and recovers it to
@@ -371,6 +385,18 @@ func (s *Store) SealedSegments() int {
 	return len(s.sealed)
 }
 
+// WALSeq returns the sequence number of the active delta-log segment —
+// the replication/observability cursor that advances with every seal —
+// or 0 when the store has no committed checkpoint yet.
+func (s *Store) WALSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return 0
+	}
+	return s.active.seq
+}
+
 // AppendDelta makes one feed delta durable in the active segment. It
 // must be called before the corresponding generation starts serving: a
 // crash after the append replays the delta on restart, a crash before
@@ -446,6 +472,18 @@ func (s *Store) Commit(cp *Checkpoint) error {
 // by commitMu). On error the old checkpoint and every segment are left
 // intact, so the commit can simply be retried.
 func (s *Store) CommitSealed(cp *Checkpoint, seq uint64) error {
+	start := time.Now()
+	err := s.commitSealed(cp, seq)
+	s.mu.Lock()
+	obs := s.commitObs
+	s.mu.Unlock()
+	if obs != nil {
+		obs(time.Since(start), err)
+	}
+	return err
+}
+
+func (s *Store) commitSealed(cp *Checkpoint, seq uint64) error {
 	if cp == nil || cp.Original == nil || cp.Cleaned == nil || cp.State == nil ||
 		cp.Vendors == nil || cp.Products == nil {
 		return fmt.Errorf("store: incomplete checkpoint")
