@@ -21,12 +21,23 @@
 // plus log in ~O(delta) — no crawling, no training, no re-clean — and
 // the store becomes authoritative over the -feed/-demo input.
 //
+// A store-backed daemon is also a replication primary: it serves its
+// checkpoint and delta log over /replicate/manifest,
+// /replicate/checkpoint/{file} and /replicate/log?from={seq}. A
+// second daemon started with -follow <primary-url> runs as a read
+// replica: it bootstraps from the shipped checkpoint, tails segment
+// bytes into its own store, folds the deltas into its serving view
+// through the same CleanDelta path, answers POST /feed with 403
+// pointing at the primary, and gates /readyz on -max-replica-lag.
+//
 // Usage:
 //
 //	nvdserve -demo small                 # synthetic snapshot + simulated web
 //	nvdserve -feed nvdcve-1.1-2017.json  # real data feed, no crawling
 //	nvdserve -feed feed.json -crawl     # also crawl reference URLs
 //	nvdserve -demo tiny -data-dir ./nvd  # durable generations, warm restarts
+//	nvdserve -demo tiny -data-dir ./r1 -addr :8418 \
+//	         -follow http://127.0.0.1:8417  # read replica of the first daemon
 package main
 
 import (
@@ -64,6 +75,9 @@ type serveConfig struct {
 	indexLoad                 string
 	pprofAddr                 string
 	drainWait                 time.Duration
+	follow                    string
+	followPoll                time.Duration
+	maxReplicaLag             time.Duration
 }
 
 func main() {
@@ -86,6 +100,9 @@ func main() {
 	flag.StringVar(&cfg.indexLoad, "index-load", "lazy", "checkpoint index loading: lazy (shards parse on first query) or eager (parse all at boot)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate listener (empty: disabled; profiling never shares the serving port)")
 	flag.DurationVar(&cfg.drainWait, "drain-wait", 500*time.Millisecond, "how long /readyz reports 503 before the listener closes on shutdown, so load balancers drain first (0: immediate)")
+	flag.StringVar(&cfg.follow, "follow", "", "run as a read replica of the primary nvdserve at this base URL (requires -data-dir; POST /feed turns 403)")
+	flag.DurationVar(&cfg.followPoll, "follow-poll", 500*time.Millisecond, "replication poll interval when caught up with the primary")
+	flag.DurationVar(&cfg.maxReplicaLag, "max-replica-lag", 15*time.Second, "replica /readyz reports 503 when replication lag exceeds this (0: never gate readiness on lag)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -104,6 +121,9 @@ func run(cfg serveConfig) error {
 	}
 	if cfg.indexLoad != "lazy" && cfg.indexLoad != "eager" {
 		return fmt.Errorf("bad -index-load %q (want lazy or eager)", cfg.indexLoad)
+	}
+	if cfg.follow != "" && dataDir == "" {
+		return fmt.Errorf("-follow requires -data-dir (the replica tails the primary's log into its own store)")
 	}
 	opts := nvdclean.Options{
 		Concurrency: cfg.concurrency,
@@ -141,8 +161,9 @@ func run(cfg serveConfig) error {
 			opts.Transport = http.DefaultTransport
 		}
 		// On a warm restart the feed file is never cleaned (the store
-		// is authoritative), so don't pay to load it.
-		if cp == nil {
+		// is authoritative), so don't pay to load it. A follower never
+		// cleans a local feed either — its view comes from the primary.
+		if cp == nil && cfg.follow == "" {
 			f, err := os.Open(feedPath)
 			if err != nil {
 				return err
@@ -198,6 +219,10 @@ func run(cfg serveConfig) error {
 		defer srv.committer.Close()
 	}
 
+	if cp != nil && cfg.follow != "" {
+		fmt.Printf("nvdserve: replica warm start: serving local generation %d while resuming the tail from %s\n",
+			cp.Generation, cfg.follow)
+	}
 	if cp != nil {
 		start := time.Now()
 		res, err := nvdclean.RestoreResult(cp, opts)
@@ -241,7 +266,7 @@ func run(cfg serveConfig) error {
 		if feedPath != "" || snap != nil {
 			fmt.Println("nvdserve: store is authoritative; POST /feed to ingest feed updates")
 		}
-	} else {
+	} else if cfg.follow == "" {
 		fmt.Printf("nvdserve: cleaning %d entries...\n", snap.Len())
 		if err := srv.load(ctx, snap); err != nil {
 			return err
@@ -251,6 +276,26 @@ func run(cfg serveConfig) error {
 		if srv.persist != nil {
 			fmt.Printf("nvdserve: committed checkpoint generation %d to %s\n", srv.persist.Generation(), dataDir)
 		}
+	} else {
+		// A cold follower never runs a local clean: its first
+		// generation ships from the primary. The bootstrap runs in the
+		// background so the listener (and /livez) come up immediately;
+		// /readyz stays 503 until the first generation installs.
+		fmt.Printf("nvdserve: replica: bootstrapping from %s in the background\n", cfg.follow)
+	}
+
+	// The tail loop starts before the listener and is joined on the way
+	// out — after the HTTP server stops, before the committer and store
+	// close underneath it.
+	if cfg.follow != "" {
+		fol := newFollower(srv, cfg.follow, cfg.followPoll, cfg.maxReplicaLag)
+		srv.follower = fol
+		fctx, fcancel := context.WithCancel(ctx)
+		go fol.run(fctx)
+		defer func() {
+			fcancel()
+			<-fol.done
+		}()
 	}
 
 	// Profiling rides a separate listener so a heap dump or 30-second

@@ -185,6 +185,15 @@ func TestServerEndpoints(t *testing.T) {
 	if int(ix["format"].(float64)) < 1 {
 		t.Errorf("index format version missing: %v", ix)
 	}
+	// Every daemon reports its replication role; a plain store-less
+	// server is a primary with no stream state.
+	repl, ok := stats["replication"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats carries no replication block: %v", stats)
+	}
+	if repl["role"] != "primary" {
+		t.Errorf("replication role = %v, want primary", repl["role"])
+	}
 }
 
 // TestServerFeedUpdate posts an upsert feed (one new v2-only CVE + one

@@ -178,6 +178,69 @@ func newServerMetrics(s *server) *serverMetrics {
 		return 0
 	})
 
+	// Replication families (zero on a primary, so the scrape shape is
+	// identical across roles and a dashboard can template over the
+	// fleet). Follower counters are the follower's own atomics; the
+	// lag gauge reports -1 until the first caught-up confirmation so
+	// "never synced" and "zero lag" cannot be confused.
+	r.GaugeFunc("nvdserve_replica_follower", "1 when this daemon runs as a read replica (-follow), 0 on a primary.", func() float64 {
+		if s.follower != nil {
+			return 1
+		}
+		return 0
+	})
+	r.GaugeFunc("nvdserve_replica_lag_seconds", "Seconds since the follower last confirmed it held every committed byte of the primary's stream; -1 before the first confirmation, 0 on a primary.", func() float64 {
+		if f := s.follower; f != nil {
+			if lag, ok := f.lag(); ok {
+				return lag.Seconds()
+			}
+			return -1
+		}
+		return 0
+	})
+	r.GaugeFunc("nvdserve_replica_cursor_segment", "Segment seq the follower will fetch next.", func() float64 {
+		if f := s.follower; f != nil {
+			return float64(f.cursorSeq.Load())
+		}
+		return 0
+	})
+	r.GaugeFunc("nvdserve_replica_cursor_offset", "Byte offset of the follower's cursor within its segment.", func() float64 {
+		if f := s.follower; f != nil {
+			return float64(f.cursorOff.Load())
+		}
+		return 0
+	})
+	r.CounterFunc("nvdserve_replica_fetches_total", "Completed /replicate/log polls against the primary.", func() float64 {
+		if f := s.follower; f != nil {
+			return float64(f.fetches.Load())
+		}
+		return 0
+	})
+	r.CounterFunc("nvdserve_replica_fetch_errors_total", "Replication fetches or applies that failed (each retried on the next poll).", func() float64 {
+		if f := s.follower; f != nil {
+			return float64(f.fetchErrors.Load())
+		}
+		return 0
+	})
+	r.CounterFunc("nvdserve_replica_fetch_bytes_total", "Segment bytes fetched from the primary and appended to the local log.", func() float64 {
+		if f := s.follower; f != nil {
+			return float64(f.fetchBytes.Load())
+		}
+		return 0
+	})
+	r.CounterFunc("nvdserve_replica_deltas_applied_total", "Shipped deltas folded into the follower's serving view.", func() float64 {
+		if f := s.follower; f != nil {
+			return float64(f.deltasApplied.Load())
+		}
+		return 0
+	})
+	r.CounterFunc("nvdserve_replica_bootstraps_total", "Checkpoint installs from the primary (cold start plus every post-compaction catch-up).", func() float64 {
+		if f := s.follower; f != nil {
+			return float64(f.bootstraps.Load())
+		}
+		return 0
+	})
+
 	// Read-cache counters, re-exported from the swap-surviving
 	// respcache.Metrics atomics — the same source /stats reads, so the
 	// two surfaces can never disagree.

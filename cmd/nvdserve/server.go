@@ -18,6 +18,7 @@ import (
 	"nvdclean/internal/cvss"
 	"nvdclean/internal/cwe"
 	"nvdclean/internal/predict"
+	"nvdclean/internal/replica"
 	"nvdclean/internal/respcache"
 	"nvdclean/internal/store"
 )
@@ -89,6 +90,10 @@ type server struct {
 	// middleware); like metrics it lives outside serveState so no
 	// generation swap can reset a time series.
 	obs *serverMetrics
+	// follower is non-nil when the daemon runs as a read replica
+	// (-follow): it owns the replication cursor and the tail loop, and
+	// its presence flips POST /feed to 403 and gates /readyz on lag.
+	follower *follower
 	// draining flips when shutdown begins: /readyz turns 503 (with
 	// Retry-After) while in-flight and newly-arriving requests still
 	// serve, giving a fronting load balancer a drain signal before the
@@ -139,6 +144,10 @@ func (s *server) load(ctx context.Context, snap *nvdclean.Snapshot) error {
 		if err := s.persist.Commit(cp); err != nil {
 			return fmt.Errorf("committing checkpoint: %w", err)
 		}
+		// The commit opened the store's first log segment, giving the
+		// daemon its stream position; re-derive the validator from it
+		// (st is not published yet, so this is race-free).
+		st.etag = s.readValidator(gen)
 	}
 	s.cur.Store(st)
 	return nil
@@ -198,12 +207,28 @@ func (s *server) newState(res *nvdclean.Result, prev *serveState, feedDelta *nvd
 	default:
 		st.idx = store.BuildIndex(res.Cleaned, s.opts.Concurrency)
 	}
-	var storeGen uint64
-	if s.persist != nil {
-		storeGen = s.persist.Generation()
-	}
-	st.etag = fmt.Sprintf(`"%x-%d-%d"`, s.bootEpoch, storeGen, gen)
+	st.etag = s.readValidator(gen)
 	return st
+}
+
+// readValidator derives the strong validator a generation's read
+// responses carry. Store-backed daemons use the replication stream
+// position of the last applied record — "w<segment seq>-<byte
+// offset>" — which is identical on every replica serving the same
+// content (followers append the primary's frame bytes verbatim, so
+// positions align across the fleet and a CDN or client cache keeps
+// hitting across a failover). Positions only advance, so no two
+// distinct generations of one store ever alias; two replicas at
+// different positions can alias the same content across an empty-seal
+// boundary, which costs a cache miss, never a false 304. Store-less
+// daemons have no stream position and keep the bootEpoch-qualified
+// in-memory counter (the counter alone would repeat across restarts).
+func (s *server) readValidator(gen int) string {
+	if s.persist != nil && s.persist.Generation() > 0 {
+		seq, off := s.persist.LastPosition()
+		return fmt.Sprintf(`"w%d-%d"`, seq, off)
+	}
+	return fmt.Sprintf(`"%x-%d"`, s.bootEpoch, gen)
 }
 
 // staleIDs collects every CVE ID either delta names — the entries
@@ -241,6 +266,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /cve/{id}", i("/cve/{id}", "GET", s.handleCVE))
 	mux.HandleFunc("GET /query", i("/query", "GET", s.handleQuery))
 	mux.HandleFunc("GET /stats", i("/stats", "GET", s.handleStats))
+	mux.HandleFunc("GET "+replica.ManifestPath, i(replica.ManifestPath, "GET", s.handleReplicateManifest))
+	mux.HandleFunc("GET "+replica.CheckpointPathPrefix+"{file}", i(replica.CheckpointPathPrefix+"{file}", "GET", s.handleReplicateCheckpoint))
+	mux.HandleFunc("GET "+replica.LogPath, i(replica.LogPath, "GET", s.handleReplicateLog))
 	mux.HandleFunc("POST /feed", i("/feed", "POST", s.handleFeed))
 	mux.HandleFunc("/", i("other", "any", s.handleFallback))
 	return mux
@@ -277,13 +305,25 @@ func (s *server) state(w http.ResponseWriter) *serveState {
 
 // ready reports whether the daemon should receive traffic; the reason
 // names what blocks it ("loading" until the first generation installs,
-// "draining" once shutdown begins).
+// "draining" once shutdown begins, and on followers "replication
+// lag"/"replication unsynced" when the replica has fallen more than
+// -max-replica-lag behind its primary — a lagging replica should be
+// rotated out of a fleet's read pool rather than serve stale answers).
 func (s *server) ready() (bool, string) {
 	if s.draining.Load() {
 		return false, "draining"
 	}
 	if s.cur.Load() == nil {
 		return false, "loading"
+	}
+	if f := s.follower; f != nil && f.maxLag > 0 {
+		lag, ok := f.lag()
+		if !ok {
+			return false, "replication unsynced"
+		}
+		if lag > f.maxLag {
+			return false, fmt.Sprintf("replication lag %s", lag.Round(time.Millisecond))
+		}
 	}
 	return true, ""
 }
@@ -735,6 +775,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		stats["store"] = storeStats
 	}
+	stats["replication"] = s.replicationStats()
 	if res.CrawlStats.URLs > 0 {
 		stats["crawl"] = map[string]any{
 			"urls":      res.CrawlStats.URLs,
@@ -768,12 +809,40 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(encodeJSON(stats, pretty))
 }
 
+// replicationStats builds the /stats replication block. Both roles
+// carry one: a primary reports its stream position (what followers
+// tail toward), a follower additionally reports its cursor, lag and
+// last fetch error — the numbers an operator compares across the
+// fleet to see who is behind.
+func (s *server) replicationStats() map[string]any {
+	if f := s.follower; f != nil {
+		return f.statsBlock()
+	}
+	repl := map[string]any{"role": "primary"}
+	if s.persist != nil {
+		seq, off := s.persist.ActivePosition()
+		repl["cursorSegment"] = seq
+		repl["cursorOffset"] = off
+		repl["watermark"] = s.persist.Watermark()
+	}
+	return repl
+}
+
 // handleFeed ingests a feed update: the posted body is an NVD JSON 1.1
 // feed whose entries are upserted into the current snapshot (mode=
 // replace instead treats the body as a complete capture, so entries it
 // omits are removed). The delta re-cleans incrementally off the serving
 // generation, which keeps serving until the swap.
 func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	// A replica's view is defined by its primary's stream: a local
+	// write would fork it (and be silently clobbered by the next
+	// bootstrap). Point the writer at the primary instead.
+	if f := s.follower; f != nil {
+		w.Header().Set("Location", f.client.Base()+"/feed")
+		writeError(w, http.StatusForbidden,
+			"this daemon is a read replica; POST /feed to the primary at %s", f.client.Base())
+		return
+	}
 	// Bound the body before the JSON decoder streams it: without this
 	// a client can feed an unbounded body into LoadFeed and size the
 	// server's heap from the wire.
@@ -830,17 +899,20 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	}
 	dur := time.Since(start)
 	warm := res.Engine != nil && res.Engine == prev.Engine
-	next := s.newState(res, st, delta, nil, dur, st.generation+1, true, warm)
 
-	// Make the delta durable before it becomes visible: a crash after
-	// the append replays it on restart, a crash before it loses only
-	// an update the client never saw acknowledged.
+	// Make the delta durable before the new generation is built: a
+	// crash after the append replays it on restart, a crash before it
+	// loses only an update the client never saw acknowledged. The
+	// append also advances the store's replication position, which the
+	// new generation's ETag validator is derived from — so the order
+	// here is load-bearing, not just a durability nicety.
 	if s.persist != nil {
 		if err := s.persist.AppendDelta(delta); err != nil {
 			writeError(w, http.StatusInternalServerError, "persisting delta: %v", err)
 			return
 		}
 	}
+	next := s.newState(res, st, delta, nil, dur, st.generation+1, true, warm)
 	s.maybeCompact(res, next.idx, summary)
 	s.cur.Store(next)
 	// Observed after the swap so the histogram matches what a client

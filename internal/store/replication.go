@@ -1,0 +1,449 @@
+// Replication surface of the generation store.
+//
+// A Store's on-disk layout is already a replication stream: the
+// committed checkpoint is a CRC-manifested set of flat files, and the
+// delta log is a sequence of CRC-framed segments whose (seq, byte
+// offset) pairs name record boundaries identically on every replica —
+// because followers append the primary's frame bytes verbatim. This
+// file factors that observation into two symmetric surfaces:
+//
+//   - ReplicationSource: enumerate the committed checkpoint's files
+//     and the live segments (ReplicationManifest), stream checkpoint
+//     file bytes (CheckpointFile), and stream segment bytes from a
+//     cursor (ReadSegment) — everything a remote follower needs to
+//     bootstrap and tail.
+//   - ReplicationSink: install a shipped checkpoint as the next local
+//     generation (InstallCheckpoint) and append tailed frames through
+//     the same validation path recovery uses (AppendFrames).
+//
+// *Store implements both. The convergence argument: a checkpoint ships
+// with per-file CRCs and is re-verified on install; frames ship
+// verbatim and are re-framed-checked on append; and CleanDelta is
+// bit-deterministic — so a follower at the same stream position as its
+// primary serves a byte-identical view (TestFollowerEquivalence in
+// cmd/nvdserve).
+
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nvdclean/internal/cve"
+	"nvdclean/internal/parallel"
+)
+
+// installFanout bounds the concurrent file fetches of one
+// InstallCheckpoint. The work is I/O-bound (network + fsync), so the
+// bound is a transfer-parallelism knob, not a CPU one.
+const installFanout = 8
+
+// ErrSegmentRetired reports a read of a segment at or below the
+// source's watermark: its records are folded into the committed
+// checkpoint and the file is (or may be) gone. A follower that hits it
+// has fallen behind the stream and must re-bootstrap from a fresh
+// checkpoint — the periodic-state-broadcast half of the protocol.
+var ErrSegmentRetired = errors.New("store: segment retired into a checkpoint")
+
+// ErrNoSegment reports a read of a segment the source has not created
+// yet (or an empty store).
+var ErrNoSegment = errors.New("store: no such segment")
+
+// ManifestFile is one checkpoint file a follower must fetch, with the
+// size and CRC-32C it must verify against.
+type ManifestFile struct {
+	Name   string `json:"name"`
+	Size   int64  `json:"size"`
+	CRC32C uint32 `json:"crc32c"`
+}
+
+// SegmentInfo describes one live delta-log segment at manifest time.
+// Size counts committed (fsynced-frame) bytes only.
+type SegmentInfo struct {
+	Seq     uint64 `json:"seq"`
+	Size    int64  `json:"size"`
+	Records int    `json:"records"`
+	Sealed  bool   `json:"sealed"`
+}
+
+// ReplicationManifest is a point-in-time description of everything a
+// follower needs: the committed checkpoint (generation, watermark, and
+// file list with sums) and the live segments above the watermark.
+type ReplicationManifest struct {
+	Generation    uint64         `json:"generation"`
+	CheckpointSeq uint64         `json:"checkpointSeq"`
+	WALSeq        uint64         `json:"walSeq"`
+	Files         []ManifestFile `json:"files"`
+	Segments      []SegmentInfo  `json:"segments,omitempty"`
+}
+
+// ReplicationSource is the read side of the stream: what a primary
+// exposes so followers can bootstrap from its checkpoint and tail its
+// segments.
+type ReplicationSource interface {
+	ReplicationManifest() (*ReplicationManifest, error)
+	CheckpointFile(name string) (io.ReadCloser, int64, error)
+	ReadSegment(seq uint64, off int64) (data []byte, sealed bool, err error)
+	Watermark() uint64
+}
+
+// ReplicationSink is the write side: what a follower's local store
+// accepts from the stream. Seal is part of the sink contract because
+// followers mirror the primary's segment boundaries — when the stream
+// says a segment is sealed, the sink seals its copy so seqs stay in
+// lockstep.
+type ReplicationSink interface {
+	InstallCheckpoint(rm *ReplicationManifest, fetch func(ManifestFile) (io.ReadCloser, error)) (*Checkpoint, error)
+	AppendFrames(raw []byte) ([]*cve.Delta, error)
+	Seal() (uint64, error)
+}
+
+var (
+	_ ReplicationSource = (*Store)(nil)
+	_ ReplicationSink   = (*Store)(nil)
+)
+
+// checkpointFileName rejects anything but a bare file name, so a
+// hostile manifest or URL cannot escape the checkpoint directory.
+func checkpointFileName(name string) error {
+	if name == "" || name != filepath.Base(name) || strings.HasPrefix(name, ".") ||
+		strings.ContainsAny(name, `/\`) {
+		return fmt.Errorf("store: invalid checkpoint file name %q", name)
+	}
+	return nil
+}
+
+// ReplicationManifest describes the committed checkpoint and the live
+// segments for a follower. It returns an error while the store has no
+// committed generation, and may return a transient error when a
+// concurrent commit retires the generation mid-read — callers just
+// retry and see the newer generation.
+func (s *Store) ReplicationManifest() (*ReplicationManifest, error) {
+	s.mu.Lock()
+	gen, genSeq := s.gen, s.genSeq
+	var segs []SegmentInfo
+	for _, seg := range s.sealed {
+		segs = append(segs, SegmentInfo{Seq: seg.seq, Size: seg.end, Records: seg.records, Sealed: true})
+	}
+	var walSeq uint64
+	if s.active != nil {
+		walSeq = s.active.seq
+		segs = append(segs, SegmentInfo{Seq: s.active.seq, Size: s.active.off, Records: s.active.records})
+	}
+	s.mu.Unlock()
+	if gen == 0 {
+		return nil, fmt.Errorf("store: no committed generation to replicate")
+	}
+	mb, err := os.ReadFile(filepath.Join(s.dir, genName(gen), manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading checkpoint manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, fmt.Errorf("store: parsing checkpoint manifest: %w", err)
+	}
+	if m.Kind != manifestKind || m.Generation != gen {
+		return nil, fmt.Errorf("store: checkpoint manifest does not match generation %d", gen)
+	}
+	rm := &ReplicationManifest{Generation: gen, CheckpointSeq: genSeq, WALSeq: walSeq, Segments: segs}
+	for name, sum := range m.Files {
+		rm.Files = append(rm.Files, ManifestFile{Name: name, Size: sum.Size, CRC32C: sum.CRC32C})
+	}
+	sort.Slice(rm.Files, func(i, j int) bool { return rm.Files[i].Name < rm.Files[j].Name })
+	return rm, nil
+}
+
+// CheckpointFile opens one file of the committed checkpoint for
+// streaming to a follower. The caller owns the ReadCloser.
+func (s *Store) CheckpointFile(name string) (io.ReadCloser, int64, error) {
+	if err := checkpointFileName(name); err != nil {
+		return nil, 0, err
+	}
+	s.mu.Lock()
+	gen := s.gen
+	s.mu.Unlock()
+	if gen == 0 {
+		return nil, 0, fmt.Errorf("store: no committed generation to replicate")
+	}
+	f, err := os.Open(filepath.Join(s.dir, genName(gen), name))
+	if err != nil {
+		return nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, fi.Size(), nil
+}
+
+// ReadSegment returns the committed bytes of segment seq starting at
+// byte offset off, and whether the segment is sealed (a sealed segment
+// with no bytes past off means the follower should seal its own copy
+// and advance to seq+1). It is safe to run concurrently with appends
+// and seals: reads of the active segment are bounded by the committed
+// frame offset captured under the lock, so a torn in-flight frame is
+// never shipped. Reads at or below the watermark return
+// ErrSegmentRetired; reads past the active segment return ErrNoSegment.
+func (s *Store) ReadSegment(seq uint64, off int64) (data []byte, sealed bool, err error) {
+	if off < 0 {
+		return nil, false, fmt.Errorf("store: negative segment offset %d", off)
+	}
+	s.mu.Lock()
+	genSeq := s.genSeq
+	limit := int64(-1)
+	sealed = true
+	switch {
+	case s.active == nil:
+		s.mu.Unlock()
+		return nil, false, ErrNoSegment
+	case seq == s.active.seq:
+		sealed = false
+		limit = s.active.off
+	case seq > s.active.seq:
+		s.mu.Unlock()
+		return nil, false, ErrNoSegment
+	}
+	s.mu.Unlock()
+	if seq <= genSeq {
+		return nil, false, ErrSegmentRetired
+	}
+	raw, err := os.ReadFile(filepath.Join(s.dir, segmentName(seq)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Raced a concurrent commit's retirement sweep.
+			return nil, false, ErrSegmentRetired
+		}
+		return nil, false, err
+	}
+	if limit >= 0 && limit < int64(len(raw)) {
+		raw = raw[:limit]
+	}
+	if off > int64(len(raw)) {
+		if sealed {
+			return nil, true, fmt.Errorf("store: offset %d beyond sealed segment %d end %d", off, seq, len(raw))
+		}
+		// The caller is exactly at (or, across a read race, momentarily
+		// past) the committed end of the active segment: no new bytes.
+		return nil, false, nil
+	}
+	return raw[off:], sealed, nil
+}
+
+// InstallCheckpoint makes a shipped checkpoint the store's next
+// committed generation: it streams every manifest-listed file through
+// fetch (invoked concurrently, up to installFanout calls in flight)
+// into a gen-N.tmp directory re-verifying size and CRC-32C,
+// writes a local manifest carrying the primary's walSeq watermark (the
+// generation number is local bookkeeping — replicas compact at their
+// own pace — but the watermark is the shared stream cursor and is
+// preserved), fully loads and verifies the result, and commits it with
+// the same rename + CURRENT-swap protocol as a local checkpoint. On
+// success the old generation and every segment at or below the
+// watermark are retired, a fresh active segment is open at watermark+1,
+// and the loaded Checkpoint is returned for the caller to restore a
+// serving view from. On error the store is unchanged.
+//
+// The local log must not be ahead of the shipped watermark: records
+// past it would be silently discarded. Followers only install when
+// bootstrapping cold or after ErrSegmentRetired, both of which satisfy
+// this.
+func (s *Store) InstallCheckpoint(rm *ReplicationManifest, fetch func(ManifestFile) (io.ReadCloser, error)) (*Checkpoint, error) {
+	if rm == nil || rm.Generation == 0 || len(rm.Files) == 0 {
+		return nil, fmt.Errorf("store: empty replication manifest")
+	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.mu.Lock()
+	gen := s.gen + 1
+	keepActive := false
+	switch {
+	case s.active == nil:
+		// Cold store: nothing local to reconcile.
+	case s.active.seq <= rm.CheckpointSeq:
+		// Every local record is folded into the shipped checkpoint;
+		// the local segments retire below.
+	case s.active.seq == rm.CheckpointSeq+1 && s.active.off == 0:
+		// Already the empty successor (a reinstall after a crashed
+		// bootstrap): keep it.
+		keepActive = true
+	default:
+		seq := s.active.seq
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: local log at segment %d is ahead of shipped checkpoint watermark %d", seq, rm.CheckpointSeq)
+	}
+	s.mu.Unlock()
+
+	name := genName(gen)
+	tmp := filepath.Join(s.dir, name+".tmp")
+	if err := os.RemoveAll(tmp); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return nil, err
+	}
+	m := &manifest{Kind: manifestKind, Generation: gen, Seq: rm.CheckpointSeq, Files: make(map[string]fileSum)}
+	files := make([]ManifestFile, 0, len(rm.Files))
+	for _, mf := range rm.Files {
+		if err := checkpointFileName(mf.Name); err != nil {
+			return nil, err
+		}
+		if mf.Name == manifestFile {
+			continue // the local manifest is written below
+		}
+		files = append(files, mf)
+		m.Files[mf.Name] = fileSum{Size: mf.Size, CRC32C: mf.CRC32C}
+	}
+	// Files land in parallel: install cost is I/O waits (network reads,
+	// per-file fsyncs) that overlap across files even on one core. The
+	// fetch callback must tolerate concurrent calls; the files are
+	// independent, so worker count cannot change the installed bytes.
+	workers := installFanout
+	if len(files) < workers {
+		workers = len(files)
+	}
+	if err := parallel.ForErr(workers, len(files), func(i int) error {
+		return s.installFile(tmp, files[i], fetch)
+	}); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(tmp, manifestFile))
+	if err != nil {
+		return nil, err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: writing local manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	// Fully verify and decode the shipped checkpoint before committing
+	// to it — a checkpoint that cannot serve must never win CURRENT.
+	cp, err := loadCheckpoint(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("store: shipped checkpoint unusable: %w", err)
+	}
+	final := filepath.Join(s.dir, name)
+	if err := os.RemoveAll(final); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return nil, err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return nil, err
+	}
+	// An active segment must exist before the commit point (same
+	// protocol as commitSealed).
+	var next *wal
+	if !keepActive {
+		next, _, _, err = openSegment(filepath.Join(s.dir, segmentName(rm.CheckpointSeq+1)), rm.CheckpointSeq+1)
+		if err != nil {
+			return nil, err
+		}
+		if err := syncDir(s.dir); err != nil {
+			next.close()
+			return nil, err
+		}
+	}
+	if err := writeCurrent(s.dir, name); err != nil {
+		next.close()
+		return nil, err
+	}
+	// Committed. Swap bookkeeping and retire the old world.
+	s.mu.Lock()
+	oldGen := s.gen
+	oldActive := s.active
+	s.gen = gen
+	s.genSeq = rm.CheckpointSeq
+	s.sealed = nil
+	if !keepActive {
+		s.active = next
+	}
+	s.lastSeq, s.lastOff = rm.CheckpointSeq+1, 0
+	s.mu.Unlock()
+	if !keepActive {
+		oldActive.close()
+	}
+	if oldGen != 0 && oldGen != gen {
+		os.RemoveAll(filepath.Join(s.dir, genName(oldGen)))
+	}
+	for _, q := range segmentSeqs(s.dir) {
+		if q <= rm.CheckpointSeq {
+			os.Remove(filepath.Join(s.dir, segmentName(q)))
+		}
+	}
+	return cp, nil
+}
+
+// installFile streams one shipped checkpoint file to disk, verifying
+// its size and CRC-32C against the manifest entry as it lands.
+func (s *Store) installFile(tmp string, mf ManifestFile, fetch func(ManifestFile) (io.ReadCloser, error)) error {
+	rc, err := fetch(mf)
+	if err != nil {
+		return fmt.Errorf("store: fetching shipped %s: %w", mf.Name, err)
+	}
+	defer rc.Close()
+	f, err := os.Create(filepath.Join(tmp, mf.Name))
+	if err != nil {
+		return err
+	}
+	cw := &crcWriter{crc: crc32.New(walTable)}
+	if _, err := io.Copy(io.MultiWriter(f, cw), rc); err != nil {
+		f.Close()
+		return fmt.Errorf("store: streaming shipped %s: %w", mf.Name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if cw.size != mf.Size || cw.crc.Sum32() != mf.CRC32C {
+		return fmt.Errorf("store: shipped %s does not match its manifest sum (%d bytes, crc %08x; want %d, %08x)",
+			mf.Name, cw.size, cw.crc.Sum32(), mf.Size, mf.CRC32C)
+	}
+	return nil
+}
+
+// AppendFrames validates and appends a batch of frames shipped
+// verbatim from a primary's segment, returning the decoded deltas for
+// the caller to apply to its serving view. The batch must be whole
+// frames end to end — a shipped torn tail is transport corruption, not
+// a crash artifact, and is rejected without touching the log. Bytes
+// land verbatim, so after the append this store's LastPosition matches
+// the primary's position for the same records.
+func (s *Store) AppendFrames(raw []byte) ([]*cve.Delta, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	deltas, off, note := scanFrames(raw)
+	if note != "" || off != int64(len(raw)) {
+		return nil, fmt.Errorf("store: shipped frames rejected: %s", note)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil, fmt.Errorf("store: no committed checkpoint to log deltas against")
+	}
+	if err := s.active.appendRaw(raw, len(deltas)); err != nil {
+		return nil, err
+	}
+	s.lastSeq, s.lastOff = s.active.seq, s.active.off
+	return deltas, nil
+}

@@ -169,6 +169,14 @@ type Store struct {
 	genSeq uint64
 	sealed []sealedSeg
 	active *wal
+	// lastSeq/lastOff are the replication stream position of the last
+	// applied record: the segment it landed in and the byte offset just
+	// past its frame. Appends (local or shipped) advance it, Seal leaves
+	// it alone, and installing or cold-committing a checkpoint resets it
+	// to the fresh active segment's start — so two replicas whose
+	// positions match are serving byte-identical log contents.
+	lastSeq uint64
+	lastOff int64
 	// commitMu serializes checkpoint commits (the boot-path Commit
 	// against a background CommitSealed).
 	commitMu sync.Mutex
@@ -221,6 +229,20 @@ func Open(dir string) (*Store, *Checkpoint, []*cve.Delta, []string, error) {
 	notes = append(notes, segNotes...)
 	s.active = active
 	s.sealed = sealed
+	// Recover the replication position: the end of the last segment that
+	// holds records, or the start of the (empty) active segment — the
+	// same position the store had before the restart.
+	s.lastSeq, s.lastOff = active.seq, 0
+	if active.records > 0 {
+		s.lastOff = active.off
+	} else {
+		for i := len(sealed) - 1; i >= 0; i-- {
+			if sealed[i].records > 0 {
+				s.lastSeq, s.lastOff = sealed[i].seq, sealed[i].end
+				break
+			}
+		}
+	}
 	return s, cp, deltas, notes, nil
 }
 
@@ -397,6 +419,40 @@ func (s *Store) WALSeq() uint64 {
 	return s.active.seq
 }
 
+// LastPosition returns the replication stream position of the last
+// record applied to this store: the segment it landed in and the byte
+// offset just past its frame (segment start for a store that has not
+// appended since its checkpoint). Because followers append the
+// primary's frame bytes verbatim, two replicas at the same position
+// are serving byte-identical content — which is why the daemon derives
+// its ETag validator from this pair.
+func (s *Store) LastPosition() (seq uint64, off int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq, s.lastOff
+}
+
+// ActivePosition returns the active segment's seq and committed byte
+// length — the cursor a follower resumes tailing from after a local
+// restart. (0, 0) when the store has no committed checkpoint yet.
+func (s *Store) ActivePosition() (seq uint64, off int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return 0, 0
+	}
+	return s.active.seq, s.active.off
+}
+
+// Watermark returns the committed checkpoint's walSeq watermark: every
+// segment at or below it is folded into the checkpoint and retired
+// from the replication stream. 0 when the store is empty.
+func (s *Store) Watermark() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.genSeq
+}
+
 // AppendDelta makes one feed delta durable in the active segment. It
 // must be called before the corresponding generation starts serving: a
 // crash after the append replays the delta on restart, a crash before
@@ -407,7 +463,11 @@ func (s *Store) AppendDelta(d *cve.Delta) error {
 	if s.active == nil {
 		return fmt.Errorf("store: no committed checkpoint to log deltas against")
 	}
-	return s.active.append(d)
+	if err := s.active.append(d); err != nil {
+		return err
+	}
+	s.lastSeq, s.lastOff = s.active.seq, s.active.off
+	return nil
 }
 
 // Seal closes the active segment and opens its successor, returning
@@ -424,6 +484,7 @@ func (s *Store) Seal() (uint64, error) {
 	}
 	sealedSeq := s.active.seq
 	records := s.active.records
+	end := s.active.off
 	next, _, _, err := openSegment(filepath.Join(s.dir, segmentName(sealedSeq+1)), sealedSeq+1)
 	if err != nil {
 		return 0, err
@@ -432,7 +493,7 @@ func (s *Store) Seal() (uint64, error) {
 		next.close()
 		return 0, fmt.Errorf("store: sealing segment %d: %w", sealedSeq, err)
 	}
-	s.sealed = append(s.sealed, sealedSeg{seq: sealedSeq, records: records})
+	s.sealed = append(s.sealed, sealedSeg{seq: sealedSeq, records: records, end: end})
 	s.active = next
 	// Persist the successor's directory entry so a crash cannot lose
 	// the (empty) segment the next append lands in.
@@ -617,6 +678,11 @@ func (s *Store) commitSealed(cp *Checkpoint, seq uint64) error {
 			return err
 		}
 		s.active = next
+		// First segment of a cold boot: the replication position starts
+		// at its first byte.
+		if s.lastSeq == 0 {
+			s.lastSeq, s.lastOff = seq+1, 0
+		}
 	}
 	s.mu.Unlock()
 	if err := writeCurrent(s.dir, name); err != nil {

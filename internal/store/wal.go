@@ -36,6 +36,11 @@ import (
 // real corruption: everything from that frame on — including every
 // later segment, which cannot be applied across the gap — is dropped,
 // exactly as the bad frame's suffix would be in a flat log.
+//
+// The same framed byte stream doubles as the replication stream
+// (replication.go): followers tail segment bytes verbatim and append
+// them through the identical validation path, so a (segment seq, byte
+// offset) pair names the same record boundary on every replica.
 
 const (
 	walHeaderSize = 8
@@ -95,21 +100,13 @@ type wal struct {
 	poisoned bool
 }
 
-// openSegment opens (creating if absent) one segment, replays every
-// committed record, truncates any torn or corrupt tail, and leaves the
-// file positioned for appending. It returns the decoded deltas and a
-// human-readable note when a tail was dropped.
-func openSegment(path string, seq uint64) (*wal, []*cve.Delta, string, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, nil, "", err
-	}
-	data, err := io.ReadAll(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, "", fmt.Errorf("store: reading delta log: %w", err)
-	}
-
+// scanFrames parses a flat byte sequence of framed records. It returns
+// the decoded deltas, the end offset of the last intact frame, and a
+// human-readable note when data holds anything past that offset (torn,
+// corrupt, or undecodable; empty note means every byte was consumed).
+// It is the single framing validator: segment recovery and the
+// replication sink both run shipped or recovered bytes through it.
+func scanFrames(data []byte) ([]*cve.Delta, int64, string) {
 	var (
 		deltas []*cve.Delta
 		off    int64
@@ -141,10 +138,29 @@ func openSegment(path string, seq uint64) (*wal, []*cve.Delta, string, error) {
 		deltas = append(deltas, d)
 		off = end
 	}
-	if off < size {
-		if note == "" {
-			note = fmt.Sprintf("dropped torn tail at offset %d", off)
-		}
+	if off < size && note == "" {
+		note = fmt.Sprintf("dropped torn tail at offset %d", off)
+	}
+	return deltas, off, note
+}
+
+// openSegment opens (creating if absent) one segment, replays every
+// committed record, truncates any torn or corrupt tail, and leaves the
+// file positioned for appending. It returns the decoded deltas and a
+// human-readable note when a tail was dropped.
+func openSegment(path string, seq uint64) (*wal, []*cve.Delta, string, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, "", fmt.Errorf("store: reading delta log: %w", err)
+	}
+
+	deltas, off, note := scanFrames(data)
+	if off < int64(len(data)) {
 		if err := f.Truncate(off); err != nil {
 			f.Close()
 			return nil, nil, "", fmt.Errorf("store: truncating delta log tail: %w", err)
@@ -157,10 +173,13 @@ func openSegment(path string, seq uint64) (*wal, []*cve.Delta, string, error) {
 	return &wal{f: f, path: path, seq: seq, records: len(deltas), off: off}, deltas, note, nil
 }
 
-// sealedSeg is one sealed-but-unretired segment's bookkeeping.
+// sealedSeg is one sealed-but-unretired segment's bookkeeping. end is
+// the segment's byte length — the offset past its last frame — which
+// doubles as the replication stream position of that frame.
 type sealedSeg struct {
 	seq     uint64
 	records int
+	end     int64
 }
 
 // replaySegments recovers the live segments of a store whose committed
@@ -196,8 +215,9 @@ func replaySegments(dir string, after uint64) (*wal, []sealedSeg, []*cve.Delta, 
 			active = w
 			break
 		}
+		end := w.off
 		w.close()
-		sealed = append(sealed, sealedSeg{seq: seq, records: len(segDeltas)})
+		sealed = append(sealed, sealedSeg{seq: seq, records: len(segDeltas), end: end})
 		if note != "" {
 			// A bad frame inside a sealed segment strands every later
 			// segment: replaying them would apply deltas across the
@@ -236,9 +256,6 @@ func replaySegments(dir string, after uint64) (*wal, []sealedSeg, []*cve.Delta, 
 // durable once append returns; a failed append rolls the file back to
 // the previous committed frame (or poisons the log if it cannot).
 func (w *wal) append(d *cve.Delta) error {
-	if w.poisoned {
-		return fmt.Errorf("store: delta log poisoned by an earlier failed append; restart to recover")
-	}
 	payload, err := cve.MarshalDelta(d)
 	if err != nil {
 		return fmt.Errorf("store: encoding delta record: %w", err)
@@ -247,7 +264,19 @@ func (w *wal) append(d *cve.Delta) error {
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, walTable))
 	copy(frame[walHeaderSize:], payload)
-	if _, err := w.f.Write(frame); err != nil {
+	return w.appendRaw(frame, 1)
+}
+
+// appendRaw writes and fsyncs pre-framed record bytes — one locally
+// framed record, or a batch of frames shipped verbatim from a
+// replication primary (the caller has already validated them with
+// scanFrames). Shipped frames land byte-identical, which is what keeps
+// replication stream offsets aligned across replicas.
+func (w *wal) appendRaw(raw []byte, records int) error {
+	if w.poisoned {
+		return fmt.Errorf("store: delta log poisoned by an earlier failed append; restart to recover")
+	}
+	if _, err := w.f.Write(raw); err != nil {
 		w.rollback()
 		return fmt.Errorf("store: appending delta record: %w", err)
 	}
@@ -255,8 +284,8 @@ func (w *wal) append(d *cve.Delta) error {
 		w.rollback()
 		return fmt.Errorf("store: syncing delta log: %w", err)
 	}
-	w.off += int64(len(frame))
-	w.records++
+	w.off += int64(len(raw))
+	w.records += records
 	return nil
 }
 
