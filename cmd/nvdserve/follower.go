@@ -125,7 +125,9 @@ func (f *follower) run(ctx context.Context) {
 			f.fetchErrors.Add(1)
 			f.lastErr.Store(err.Error())
 			fmt.Printf("nvdserve: replica bootstrap: %v\n", err)
-			if !sleepCtx(ctx, f.poll) {
+			// Jittered: a fleet of replicas booting against a down
+			// primary must not hammer it in lockstep when it returns.
+			if !sleepCtx(ctx, jitter(f.poll)) {
 				return
 			}
 			continue
@@ -135,6 +137,9 @@ func (f *follower) run(ctx context.Context) {
 		wait, err := f.syncOnce(ctx)
 		if err != nil && ctx.Err() == nil {
 			fmt.Printf("nvdserve: replica sync: %v\n", err)
+			// Failed polls back off with jitter so a primary outage
+			// does not synchronize the fleet's retry schedule.
+			wait = jitter(wait)
 		}
 		if wait <= 0 {
 			continue

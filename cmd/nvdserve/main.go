@@ -208,9 +208,13 @@ func run(cfg serveConfig) error {
 	srv.readCache = cfg.readCache
 	if persist != nil {
 		// Every checkpoint commit — boot, -compact-sync inline, or
-		// background — reports its wall time into the scrape surface.
-		persist.SetCommitObserver(srv.obs.observeCheckpoint)
+		// background — reports its wall time into the scrape surface
+		// and its outcome into the degraded-mode health tracker.
+		persist.SetCommitObserver(srv.observeCommit)
 	}
+	// Stop the degraded-mode recovery probe (if one is running) before
+	// the store it probes closes.
+	defer srv.health.close()
 	if persist != nil && !compactSync {
 		// Background compaction: POST /feed seals the delta log and
 		// enqueues the checkpoint; the committer pays the write. Closed

@@ -178,6 +178,36 @@ func newServerMetrics(s *server) *serverMetrics {
 		return 0
 	})
 
+	// Degraded-mode families: the store write-health tracker. Alert on
+	// the gauge; the counters tell whether the daemon is flapping (many
+	// recoveries) or stuck (many probes, zero recoveries).
+	r.GaugeFunc("nvdserve_store_degraded", "1 while the store cannot accept writes and the daemon serves read-only (POST /feed returns 503/507).", func() float64 {
+		if h := s.health; h != nil {
+			if degraded, _, _ := h.isDegraded(); degraded {
+				return 1
+			}
+		}
+		return 0
+	})
+	r.CounterFunc("nvdserve_store_persist_failures_total", "Durability failures observed on the ingest path (append, seal, or checkpoint commit); each enters or extends degraded mode.", func() float64 {
+		if h := s.health; h != nil {
+			return float64(h.status().Failures)
+		}
+		return 0
+	})
+	r.CounterFunc("nvdserve_store_degraded_recoveries_total", "Transitions out of degraded mode back to read-write (a probe or commit proved durable writes work again).", func() float64 {
+		if h := s.health; h != nil {
+			return float64(h.status().Recoveries)
+		}
+		return 0
+	})
+	r.CounterFunc("nvdserve_store_probes_total", "Durable-write recovery probes attempted while degraded (jittered exponential backoff).", func() float64 {
+		if h := s.health; h != nil {
+			return float64(h.status().Probes)
+		}
+		return 0
+	})
+
 	// Replication families (zero on a primary, so the scrape shape is
 	// identical across roles and a dashboard can template over the
 	// fleet). Follower counters are the follower's own atomics; the

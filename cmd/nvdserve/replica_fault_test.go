@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+	"time"
+
+	"nvdclean"
+	"nvdclean/internal/gen"
+	"nvdclean/internal/predict"
+	"nvdclean/internal/replica"
+	"nvdclean/internal/store"
+)
+
+// TestFollowerSurvivesPrimaryOutage subjects the replication path to
+// injected network faults: the follower bootstraps through connection
+// resets, keeps serving its last generation byte-identically through a
+// hard primary outage (5xx storm, then torn bodies), stays in the read
+// pool, and reconverges on its own once the primary returns.
+func TestFollowerSurvivesPrimaryOutage(t *testing.T) {
+	snap, truth, err := nvdclean.GenerateSnapshot(gen.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := nvdclean.Options{
+		Transport:   nvdclean.NewWebCorpus(snap, truth.Disclosure).Transport(),
+		Concurrency: 8,
+		Models:      []predict.ModelKind{predict.ModelLR},
+		ModelConfig: predict.ModelConfig{Seed: 1},
+		Seed:        1,
+	}
+	ctx := context.Background()
+
+	pStr, _, _, _, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pStr.Close()
+	primary := newServer(opts)
+	primary.persist = pStr
+	primary.compactEvery = 1000
+	if err := primary.load(ctx, snap); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(primary.handler())
+	defer ts.Close()
+	postFeed(t, ts, feedUpdate(t, snap))
+
+	fStr, _, _, _, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fStr.Close()
+	fsrv := newServer(opts)
+	fsrv.persist = fStr
+	fol := newFollower(fsrv, ts.URL, 10*time.Millisecond, 15*time.Second)
+	fsrv.follower = fol
+	ft := &replica.FaultTransport{}
+	fol.client.SetTransport(ft)
+	fol.client.SetRetry(3, time.Millisecond)
+	fts := httptest.NewServer(fsrv.handler())
+	defer fts.Close()
+
+	// Bootstrap through transient connection resets: the client's
+	// internal retries absorb them without surfacing an error.
+	ft.SetDecide(replica.FaultFirst(2, replica.Fault{Err: syscall.ECONNRESET}))
+	if err := fol.bootstrap(ctx); err != nil {
+		t.Fatalf("bootstrap through resets: %v", err)
+	}
+	catchUp(t, ctx, fol)
+	if ft.Injected() < 2 {
+		t.Fatalf("transport injected %d faults, want >= 2", ft.Injected())
+	}
+	assertConverged(t, "bootstrap through resets", primary, fsrv)
+
+	cveID := fsrv.cur.Load().res.Cleaned.Entries[0].ID
+	stBase, cveBase := getBody(t, fts, "/cve/"+cveID)
+	if stBase != 200 {
+		t.Fatalf("baseline follower GET /cve = %d", stBase)
+	}
+
+	// The primary "goes down": every replication request 5xxes. It
+	// still takes writes from its own clients, so the follower is now
+	// genuinely stale.
+	ft.SetDecide(replica.FaultAll(replica.Fault{Status: http.StatusServiceUnavailable}))
+	postFeed(t, ts, namedUpdate(t, snap, "CVE-2018-5555"))
+	errsBefore := fol.fetchErrors.Load()
+	if _, err := fol.syncOnce(ctx); err == nil {
+		t.Fatal("poll through a hard outage did not error")
+	}
+	if fol.fetchErrors.Load() == errsBefore {
+		t.Fatal("failed poll did not count as a fetch error")
+	}
+
+	// Stale-with-lag serving: reads answer the last good generation
+	// byte-identically, readiness holds (lag is within -max-replica-lag),
+	// and /stats names the fetch error.
+	if st, b := getBody(t, fts, "/cve/"+cveID); st != 200 || !bytes.Equal(b, cveBase) {
+		t.Fatalf("follower read changed during outage: status %d, identical %v", st, bytes.Equal(b, cveBase))
+	}
+	var probe map[string]any
+	if code := getJSON(t, fts, "/readyz", &probe); code != http.StatusOK {
+		t.Fatalf("follower /readyz during outage = %d, want 200", code)
+	}
+	var stats map[string]any
+	if code := getJSON(t, fts, "/stats", &stats); code != http.StatusOK {
+		t.Fatalf("follower /stats = %d", code)
+	}
+	repl := stats["replication"].(map[string]any)
+	if repl["lastFetchError"] == nil || repl["lastFetchError"] == "" {
+		t.Fatalf("outage not visible in /stats replication block: %v", repl)
+	}
+
+	// Torn transfers: responses cut off mid-body must surface as fetch
+	// errors, never as partially applied stream bytes.
+	ft.SetDecide(replica.FaultAll(replica.Fault{TruncateBody: 8}))
+	posBefore, offBefore := fol.cursorSeq.Load(), fol.cursorOff.Load()
+	if _, err := fol.syncOnce(ctx); err == nil {
+		t.Fatal("truncated log body did not error")
+	}
+	if fol.cursorSeq.Load() != posBefore || fol.cursorOff.Load() != offBefore {
+		t.Fatal("cursor moved on a truncated fetch")
+	}
+
+	// The primary returns; the follower reconverges with no operator
+	// intervention and the fleet's stream positions realign.
+	ft.SetDecide(nil)
+	catchUp(t, ctx, fol)
+	assertConverged(t, "post-outage reconvergence", primary, fsrv)
+	pSeq, pOff := pStr.LastPosition()
+	fSeq, fOff := fStr.LastPosition()
+	if pSeq != fSeq || pOff != fOff {
+		t.Fatalf("positions diverge after reconvergence: primary (%d,%d) follower (%d,%d)", pSeq, pOff, fSeq, fOff)
+	}
+}

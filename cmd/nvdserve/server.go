@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"nvdclean"
@@ -99,6 +100,9 @@ type server struct {
 	// serve, giving a fronting load balancer a drain signal before the
 	// listener closes.
 	draining atomic.Bool
+	// health tracks persistent-store write failures and runs the
+	// degraded-mode recovery probe; reads never consult it.
+	health *storeHealth
 }
 
 // Default resource bounds, overridable by flags.
@@ -118,6 +122,8 @@ func newServer(opts nvdclean.Options) *server {
 	}
 	// The registry's gauge closures read s.persist/s.committer/s.cur
 	// dynamically, so building it before those are assigned is fine.
+	// health must exist first: the degraded gauge closure samples it.
+	s.health = newStoreHealth(s)
 	s.obs = newServerMetrics(s)
 	return s
 }
@@ -347,6 +353,18 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if ok, reason := s.ready(); !ok {
 		w.Header().Set("Retry-After", "5")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": reason})
+		return
+	}
+	// Degraded (read-only) is still ready — reads serve normally, so
+	// the daemon must stay in a load balancer's read pool — but the
+	// probe body says so, plainly and unconditionally: degraded status
+	// must never hide behind a cached 304, so this branch skips the
+	// ETag machinery entirely.
+	if degraded, reason, _ := s.health.isDegraded(); degraded {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "degraded",
+			"reason": reason,
+		})
 		return
 	}
 	st := s.cur.Load()
@@ -773,6 +791,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if s.committer != nil {
 			storeStats["commitQueue"] = s.committer.Stats()
 		}
+		storeStats["health"] = s.health.status()
 		stats["store"] = storeStats
 	}
 	stats["replication"] = s.replicationStats()
@@ -843,6 +862,13 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 			"this daemon is a read replica; POST /feed to the primary at %s", f.client.Base())
 		return
 	}
+	// Degraded mode: the store cannot make this write durable, so
+	// reject it before parsing the body. Reads are unaffected — the
+	// serving generation is immutable and in memory.
+	if degraded, reason, diskFull := s.health.isDegraded(); degraded {
+		s.persistUnavailable(w, reason, diskFull)
+		return
+	}
 	// Bound the body before the JSON decoder streams it: without this
 	// a client can feed an unbounded body into LoadFeed and size the
 	// server's heap from the wire.
@@ -908,7 +934,12 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	// here is load-bearing, not just a durability nicety.
 	if s.persist != nil {
 		if err := s.persist.AppendDelta(delta); err != nil {
-			writeError(w, http.StatusInternalServerError, "persisting delta: %v", err)
+			// Not a 500: the daemon is healthy, the disk is not. Enter
+			// degraded mode (read-only serving plus a recovery probe)
+			// and tell the client when to retry. The in-memory swap
+			// below never happens, so memory cannot run ahead of disk.
+			s.health.recordFailure(err)
+			s.persistUnavailable(w, err.Error(), errors.Is(err, syscall.ENOSPC))
 			return
 		}
 	}
@@ -946,6 +977,7 @@ func (s *server) maybeCompact(res *nvdclean.Result, idx *store.Index, summary ma
 	seq, err := s.persist.Seal()
 	if err != nil {
 		summary["compactionError"] = err.Error()
+		s.health.recordFailure(err)
 		return
 	}
 	if s.committer != nil {
@@ -953,8 +985,12 @@ func (s *server) maybeCompact(res *nvdclean.Result, idx *store.Index, summary ma
 		summary["compactionQueued"] = true
 		return
 	}
+	// Inline commits report through the commit observer when one is
+	// installed; recordFailure here keeps the degraded transition even
+	// for a bare store with no observer wired.
 	if err := s.persist.CommitSealed(cp, seq); err != nil {
 		summary["compactionError"] = err.Error()
+		s.health.recordFailure(err)
 	} else {
 		summary["compacted"] = true
 	}

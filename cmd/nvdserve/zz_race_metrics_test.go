@@ -46,7 +46,7 @@ func TestRaceMetricsScrapeDuringFeed(t *testing.T) {
 	srv.persist = st
 	srv.compactEvery = 1
 	srv.committer = store.NewCommitter(st)
-	srv.persist.SetCommitObserver(srv.obs.observeCheckpoint)
+	srv.persist.SetCommitObserver(srv.observeCommit)
 	if err := srv.load(t.Context(), snap); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,210 @@
+package fsio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSPassThrough(t *testing.T) {
+	dir := t.TempDir()
+	var fs FS = OS{}
+	path := filepath.Join(dir, "a.txt")
+	if err := fs.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = fs.ReadFile(filepath.Join(dir, "b.txt"))
+	if string(b) != "hello world" {
+		t.Fatalf("after rename: %q", b)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fs.Remove(filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorCountsMutatingOps(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{})
+	path := filepath.Join(dir, "f")
+
+	f, err := inj.Create(path) // op 1: create
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil { // op 2: write
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // op 3: sync
+		t.Fatal(err)
+	}
+	f.Close() // not counted
+
+	if _, err := inj.ReadFile(path); err != nil { // not counted
+		t.Fatal(err)
+	}
+	if _, err := inj.ReadDir(dir); err != nil { // not counted
+		t.Fatal(err)
+	}
+	rf, err := inj.Open(path) // read-only: not counted
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf.Close()
+
+	if err := inj.Rename(path, path+"2"); err != nil { // op 4
+		t.Fatal(err)
+	}
+	if err := inj.Remove(path + "2"); err != nil { // op 5
+		t.Fatal(err)
+	}
+	if got := inj.Ops(); got != 5 {
+		t.Fatalf("Ops = %d, want 5", got)
+	}
+	if got := inj.Injected(); got != 0 {
+		t.Fatalf("Injected = %d, want 0", got)
+	}
+}
+
+func TestInjectorFailNth(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{})
+	inj.SetDecide(FailOp(2, syscall.ENOSPC))
+
+	f, err := inj.Create(filepath.Join(dir, "f")) // op 1: passes
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) { // op 2: fails
+		t.Fatalf("Write err = %v, want ENOSPC", err)
+	}
+	if _, err := f.Write([]byte("y")); err != nil { // op 3: passes again
+		t.Fatal(err)
+	}
+	if got := inj.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+	b, _ := os.ReadFile(filepath.Join(dir, "f"))
+	if string(b) != "y" {
+		t.Fatalf("file contents %q, want %q (failed write must not land)", b, "y")
+	}
+}
+
+func TestInjectorFailSyncsOnly(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{})
+	inj.SetDecide(FailKind(OpSync, errors.New("fsync broken")))
+
+	f, err := inj.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("Sync should fail")
+	}
+	inj.SetDecide(nil)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync after clearing faults: %v", err)
+	}
+}
+
+func TestInjectorTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{})
+	path := filepath.Join(dir, "f")
+	f, err := inj.Create(path) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	inj.SetDecide(TornWriteOp(2, 3, syscall.EIO))
+	if _, err := f.Write([]byte("abcdef")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Write err = %v, want EIO", err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "abc" {
+		t.Fatalf("torn write left %q, want %q", b, "abc")
+	}
+}
+
+func TestInjectorTornWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{})
+	path := filepath.Join(dir, "f")
+	inj.SetDecide(TornWriteOp(1, 2, syscall.ENOSPC))
+	if err := inj.WriteFile(path, []byte("abcdef"), 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("WriteFile err = %v, want ENOSPC", err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "ab" {
+		t.Fatalf("torn WriteFile left %q, want %q", b, "ab")
+	}
+}
+
+func TestInjectorAfterHookSeesEveryOp(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{})
+	var seen []Kind
+	inj.SetAfter(func(op Op) { seen = append(seen, op.Kind) })
+
+	f, _ := inj.Create(filepath.Join(dir, "f"))
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Truncate(0)
+	f.Close()
+	inj.MkdirAll(filepath.Join(dir, "d"), 0o755)
+	inj.RemoveAll(filepath.Join(dir, "d"))
+
+	want := []Kind{OpCreate, OpWrite, OpSync, OpTruncate, OpMkdirAll, OpRemoveAll}
+	if len(seen) != len(want) {
+		t.Fatalf("after hook saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("after hook saw %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestInjectorFailAllToggle(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{})
+	inj.SetDecide(FailAll(syscall.ENOSPC))
+	if err := inj.WriteFile(filepath.Join(dir, "f"), []byte("x"), 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	inj.SetDecide(nil)
+	if err := inj.WriteFile(filepath.Join(dir, "f"), []byte("x"), 0o644); err != nil {
+		t.Fatalf("after clearing: %v", err)
+	}
+}

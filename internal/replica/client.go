@@ -26,6 +26,7 @@ import (
 	"hash"
 	"hash/crc32"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -104,6 +105,40 @@ func NewClient(base string) *Client {
 // Base returns the primary base URL the client was built with.
 func (c *Client) Base() string { return c.base }
 
+// SetTransport replaces the underlying HTTP transport — the seam a
+// fault-injection layer (FaultTransport) or a custom TLS/proxy config
+// plugs into.
+func (c *Client) SetTransport(rt http.RoundTripper) {
+	c.http.Transport = rt
+}
+
+// SetRetry overrides the per-request retry budget: attempts per
+// request and the initial inter-attempt delay (doubling, jittered).
+func (c *Client) SetRetry(attempts int, backoff time.Duration) {
+	if attempts > 0 {
+		c.retries = attempts
+	}
+	if backoff > 0 {
+		c.backoff = backoff
+	}
+}
+
+// maxRetryAfter caps the poll delay a primary's Retry-After header can
+// impose: a misconfigured (or compromised) primary must not be able to
+// park a whole follower fleet for minutes with one header.
+const maxRetryAfter = 30 * time.Second
+
+// jitter spreads a retry delay over [d/2, d) so followers that failed
+// on the same primary outage do not reconnect in lockstep and stampede
+// it the instant it returns.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + rand.N(d-half)
+}
+
 // retryable reports whether an attempt outcome is worth another try:
 // transport errors and 5xx statuses are; context cancellation and
 // protocol statuses are not.
@@ -123,7 +158,7 @@ func (c *Client) do(ctx context.Context, url string, header http.Header) (*http.
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
-			case <-time.After(delay):
+			case <-time.After(jitter(delay)):
 			}
 			delay *= 2
 		}
@@ -241,7 +276,7 @@ func (c *Client) Log(ctx context.Context, seq uint64, off int64) (*LogChunk, err
 		WALSeq:    parseUint(resp.Header.Get(HeaderWALSeq)),
 	}
 	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-		chunk.RetryAfter = time.Duration(ra) * time.Second
+		chunk.RetryAfter = min(time.Duration(ra)*time.Second, maxRetryAfter)
 	}
 	switch resp.StatusCode {
 	case http.StatusOK, http.StatusPartialContent:

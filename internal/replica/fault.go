@@ -1,0 +1,162 @@
+package replica
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is one injected network failure. Zero value means "pass the
+// request through untouched". Fields compose in order: Stall delays,
+// then Err aborts, then Status substitutes, then TruncateBody cuts the
+// real response short.
+type Fault struct {
+	// Stall delays the request (bounded by the request context), as a
+	// saturated primary or a lossy path would.
+	Stall time.Duration
+	// Err fails the round trip before any response — a connection
+	// reset, refused connect, or mid-flight drop.
+	Err error
+	// Status substitutes a synthetic response with this status code and
+	// a short body, as a fronting proxy returning 502/503 would.
+	Status int
+	// TruncateBody cuts the real response body after this many bytes
+	// and ends it with io.ErrUnexpectedEOF — a connection torn down
+	// mid-transfer. Zero means no truncation (use a negative value to
+	// truncate at zero bytes).
+	TruncateBody int64
+}
+
+func (f Fault) empty() bool {
+	return f.Stall == 0 && f.Err == nil && f.Status == 0 && f.TruncateBody == 0
+}
+
+// FaultTransport is an http.RoundTripper that injects failures into a
+// replication client's requests. It is the follower-side mirror of the
+// store's fsio.Injector: deterministic, per-request fault decisions
+// over the real transport, so tests can subject the bootstrap and tail
+// paths to resets, 5xx storms, truncated bodies and stalls without a
+// flaky network in the loop.
+type FaultTransport struct {
+	// Base performs real round trips; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+
+	mu     sync.Mutex
+	decide func(n int64, req *http.Request) Fault
+
+	requests atomic.Int64
+	injected atomic.Int64
+}
+
+// SetDecide installs (or, with nil, removes) the fault decider. It is
+// called with the 1-based request ordinal and the outgoing request;
+// whatever it returns is injected.
+func (t *FaultTransport) SetDecide(decide func(n int64, req *http.Request) Fault) {
+	t.mu.Lock()
+	t.decide = decide
+	t.mu.Unlock()
+}
+
+// Requests returns how many round trips were attempted through the
+// transport; Injected counts the ones that carried a fault.
+func (t *FaultTransport) Requests() int64 { return t.requests.Load() }
+func (t *FaultTransport) Injected() int64 { return t.injected.Load() }
+
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.requests.Add(1)
+	t.mu.Lock()
+	decide := t.decide
+	t.mu.Unlock()
+	var f Fault
+	if decide != nil {
+		f = decide(n, req)
+	}
+	if !f.empty() {
+		t.injected.Add(1)
+	}
+	if f.Stall > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(f.Stall):
+		}
+	}
+	if f.Err != nil {
+		return nil, f.Err
+	}
+	if f.Status != 0 {
+		return &http.Response{
+			StatusCode: f.Status,
+			Status:     http.StatusText(f.Status),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{},
+			Body:    io.NopCloser(bytes.NewReader([]byte("injected fault\n"))),
+			Request: req,
+		}, nil
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || f.TruncateBody == 0 {
+		return resp, err
+	}
+	limit := f.TruncateBody
+	if limit < 0 {
+		limit = 0
+	}
+	resp.Body = &truncatedBody{body: resp.Body, remaining: limit}
+	resp.ContentLength = -1
+	return resp, nil
+}
+
+// truncatedBody yields at most remaining bytes of the underlying body
+// and then fails with io.ErrUnexpectedEOF, the error a real torn
+// connection surfaces through the HTTP client.
+type truncatedBody struct {
+	body      io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.body.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		// The real body ended within the budget; no fault to inject.
+		return n, err
+	}
+	if b.remaining <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.body.Close() }
+
+// FaultFirst injects f into the first k requests and passes the rest —
+// the shape of a transient outage that heals while the client retries.
+func FaultFirst(k int64, f Fault) func(n int64, req *http.Request) Fault {
+	return func(n int64, _ *http.Request) Fault {
+		if n <= k {
+			return f
+		}
+		return Fault{}
+	}
+}
+
+// FaultAll injects f into every request — a hard outage until the
+// decider is replaced.
+func FaultAll(f Fault) func(n int64, req *http.Request) Fault {
+	return func(int64, *http.Request) Fault { return f }
+}

@@ -144,6 +144,104 @@ func TestPartialIndexSegmentsFallBack(t *testing.T) {
 	}
 }
 
+// TestDamagedIndexSegmentsDowngrade is the boot-robustness sweep for
+// persisted index segments: byte-level truncations and bit flips at
+// assorted offsets of an index-NN.seg must never fail the checkpoint —
+// the index is derivable from the snapshots, so damage downgrades to
+// Index == nil with a note naming the rebuild, while the snapshots and
+// the rest of recovery proceed untouched. Contrast with snapshot files
+// (TestRecoveryCorruptCheckpoint), where the same bit flip rightly
+// rejects the whole generation.
+func TestDamagedIndexSegmentsDowngrade(t *testing.T) {
+	type damage struct {
+		name  string
+		apply func(data []byte) []byte
+	}
+	cases := []damage{
+		{"truncate-to-zero", func(b []byte) []byte { return nil }},
+		{"truncate-to-one-byte", func(b []byte) []byte { return b[:1] }},
+		{"truncate-at-half", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncate-last-byte", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"flip-first-byte", func(b []byte) []byte { b[0] ^= 0x01; return b }},
+		{"flip-middle-byte", func(b []byte) []byte { b[len(b)/2] ^= 0x80; return b }},
+		{"flip-last-byte", func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, _, _, _ := mustOpen(t, dir)
+			commitWithIndex(t, s)
+			if err := s.AppendDelta(testDelta(1)); err != nil {
+				t.Fatal(err)
+			}
+			genDir := filepath.Join(dir, genName(s.Generation()))
+			s.Close()
+
+			path := filepath.Join(genDir, indexSegName(3))
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.apply(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, cp, deltas, _ := mustOpen(t, dir)
+			defer s2.Close()
+			if cp == nil {
+				t.Fatal("damaged index segment rejected the whole checkpoint")
+			}
+			if cp.Index != nil {
+				t.Fatal("damaged index segment still produced an index")
+			}
+			if !strings.Contains(cp.IndexNote, "damaged") || !strings.Contains(cp.IndexNote, indexSegName(3)) {
+				t.Fatalf("index note does not name the damage: %q", cp.IndexNote)
+			}
+			// Everything else recovered: snapshots, generation, the
+			// appended delta — and the store still takes writes.
+			if len(cp.Cleaned.Entries) != len(testCheckpoint().Cleaned.Entries) {
+				t.Fatal("cleaned snapshot diverged under index damage")
+			}
+			if len(deltas) != 1 {
+				t.Fatalf("replayed %d deltas, want 1", len(deltas))
+			}
+			if err := s2.AppendDelta(testDelta(2)); err != nil {
+				t.Fatalf("append after index downgrade: %v", err)
+			}
+		})
+	}
+}
+
+// TestMultipleDamagedIndexSegments: the note lists every damaged
+// segment, sorted, so an operator sees the blast radius at a glance.
+func TestMultipleDamagedIndexSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, _ := mustOpen(t, dir)
+	commitWithIndex(t, s)
+	genDir := filepath.Join(dir, genName(s.Generation()))
+	s.Close()
+	for _, seg := range []int{14, 2} {
+		path := filepath.Join(genDir, indexSegName(seg))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] ^= 0x55
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, cp, _, _ := mustOpen(t, dir)
+	defer s2.Close()
+	if cp == nil || cp.Index != nil {
+		t.Fatal("damaged segments did not downgrade to a rebuildable checkpoint")
+	}
+	i2, i14 := strings.Index(cp.IndexNote, indexSegName(2)), strings.Index(cp.IndexNote, indexSegName(14))
+	if i2 < 0 || i14 < 0 || i2 > i14 {
+		t.Fatalf("note does not list both damaged segments in order: %q", cp.IndexNote)
+	}
+}
+
 // TestIndexSegmentSizeGuard is the checkpoint-size regression bound:
 // persisted index segments must stay within a recorded bytes-per-entry
 // budget on a realistic synthetic snapshot. The old map[key][]string

@@ -141,7 +141,7 @@ func (s *Store) ReplicationManifest() (*ReplicationManifest, error) {
 	if gen == 0 {
 		return nil, fmt.Errorf("store: no committed generation to replicate")
 	}
-	mb, err := os.ReadFile(filepath.Join(s.dir, genName(gen), manifestFile))
+	mb, err := s.fs.ReadFile(filepath.Join(s.dir, genName(gen), manifestFile))
 	if err != nil {
 		return nil, fmt.Errorf("store: reading checkpoint manifest: %w", err)
 	}
@@ -172,7 +172,7 @@ func (s *Store) CheckpointFile(name string) (io.ReadCloser, int64, error) {
 	if gen == 0 {
 		return nil, 0, fmt.Errorf("store: no committed generation to replicate")
 	}
-	f, err := os.Open(filepath.Join(s.dir, genName(gen), name))
+	f, err := s.fs.Open(filepath.Join(s.dir, genName(gen), name))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -215,7 +215,7 @@ func (s *Store) ReadSegment(seq uint64, off int64) (data []byte, sealed bool, er
 	if seq <= genSeq {
 		return nil, false, ErrSegmentRetired
 	}
-	raw, err := os.ReadFile(filepath.Join(s.dir, segmentName(seq)))
+	raw, err := s.fs.ReadFile(filepath.Join(s.dir, segmentName(seq)))
 	if err != nil {
 		if os.IsNotExist(err) {
 			// Raced a concurrent commit's retirement sweep.
@@ -283,10 +283,10 @@ func (s *Store) InstallCheckpoint(rm *ReplicationManifest, fetch func(ManifestFi
 
 	name := genName(gen)
 	tmp := filepath.Join(s.dir, name+".tmp")
-	if err := os.RemoveAll(tmp); err != nil {
+	if err := s.fs.RemoveAll(tmp); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(tmp, 0o755); err != nil {
+	if err := s.fs.MkdirAll(tmp, 0o755); err != nil {
 		return nil, err
 	}
 	m := &manifest{Kind: manifestKind, Generation: gen, Seq: rm.CheckpointSeq, Files: make(map[string]fileSum)}
@@ -314,7 +314,7 @@ func (s *Store) InstallCheckpoint(rm *ReplicationManifest, fetch func(ManifestFi
 	}); err != nil {
 		return nil, err
 	}
-	f, err := os.Create(filepath.Join(tmp, manifestFile))
+	f, err := s.fs.Create(filepath.Join(tmp, manifestFile))
 	if err != nil {
 		return nil, err
 	}
@@ -333,34 +333,34 @@ func (s *Store) InstallCheckpoint(rm *ReplicationManifest, fetch func(ManifestFi
 	}
 	// Fully verify and decode the shipped checkpoint before committing
 	// to it — a checkpoint that cannot serve must never win CURRENT.
-	cp, err := loadCheckpoint(tmp)
+	cp, err := loadCheckpoint(s.fs, tmp)
 	if err != nil {
 		return nil, fmt.Errorf("store: shipped checkpoint unusable: %w", err)
 	}
 	final := filepath.Join(s.dir, name)
-	if err := os.RemoveAll(final); err != nil {
+	if err := s.fs.RemoveAll(final); err != nil {
 		return nil, err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := s.fs.Rename(tmp, final); err != nil {
 		return nil, err
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := syncDir(s.fs, s.dir); err != nil {
 		return nil, err
 	}
 	// An active segment must exist before the commit point (same
 	// protocol as commitSealed).
 	var next *wal
 	if !keepActive {
-		next, _, _, err = openSegment(filepath.Join(s.dir, segmentName(rm.CheckpointSeq+1)), rm.CheckpointSeq+1)
+		next, _, _, err = openSegment(s.fs, filepath.Join(s.dir, segmentName(rm.CheckpointSeq+1)), rm.CheckpointSeq+1)
 		if err != nil {
 			return nil, err
 		}
-		if err := syncDir(s.dir); err != nil {
+		if err := syncDir(s.fs, s.dir); err != nil {
 			next.close()
 			return nil, err
 		}
 	}
-	if err := writeCurrent(s.dir, name); err != nil {
+	if err := writeCurrent(s.fs, s.dir, name); err != nil {
 		next.close()
 		return nil, err
 	}
@@ -380,11 +380,11 @@ func (s *Store) InstallCheckpoint(rm *ReplicationManifest, fetch func(ManifestFi
 		oldActive.close()
 	}
 	if oldGen != 0 && oldGen != gen {
-		os.RemoveAll(filepath.Join(s.dir, genName(oldGen)))
+		s.fs.RemoveAll(filepath.Join(s.dir, genName(oldGen)))
 	}
-	for _, q := range segmentSeqs(s.dir) {
+	for _, q := range segmentSeqs(s.fs, s.dir) {
 		if q <= rm.CheckpointSeq {
-			os.Remove(filepath.Join(s.dir, segmentName(q)))
+			s.fs.Remove(filepath.Join(s.dir, segmentName(q)))
 		}
 	}
 	return cp, nil
@@ -398,7 +398,7 @@ func (s *Store) installFile(tmp string, mf ManifestFile, fetch func(ManifestFile
 		return fmt.Errorf("store: fetching shipped %s: %w", mf.Name, err)
 	}
 	defer rc.Close()
-	f, err := os.Create(filepath.Join(tmp, mf.Name))
+	f, err := s.fs.Create(filepath.Join(tmp, mf.Name))
 	if err != nil {
 		return err
 	}

@@ -47,7 +47,6 @@ import (
 	"hash"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"slices"
 	"sort"
@@ -57,6 +56,7 @@ import (
 
 	"nvdclean/internal/crawler"
 	"nvdclean/internal/cve"
+	"nvdclean/internal/fsio"
 	"nvdclean/internal/naming"
 	"nvdclean/internal/parallel"
 	"nvdclean/internal/predict"
@@ -161,6 +161,10 @@ const manifestKind = "nvdstore-checkpoint"
 // everything.
 type Store struct {
 	dir string
+	// fs is the filesystem every durability operation goes through —
+	// fsio.OS in production, an fsio.Injector under fault-injection and
+	// crash-point tests.
+	fs fsio.FS
 	// mu guards the generation counters, the sealed-segment list and
 	// the active-segment pointer against concurrent reads; the log
 	// write path itself is externally serialized.
@@ -202,27 +206,34 @@ func (s *Store) SetCommitObserver(fn func(time.Duration, error)) {
 // returns a nil Checkpoint when the store is empty (cold boot), and
 // human-readable notes for anything recovery had to repair or discard.
 func Open(dir string) (*Store, *Checkpoint, []*cve.Delta, []string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(dir, fsio.OS{})
+}
+
+// OpenFS is Open with an explicit filesystem: fault-injection and
+// crash-point tests pass an fsio.Injector, production passes fsio.OS
+// (via Open).
+func OpenFS(dir string, fs fsio.FS) (*Store, *Checkpoint, []*cve.Delta, []string, error) {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, nil, nil, err
 	}
 	var notes []string
 
-	cp, err := pickCheckpoint(dir, &notes)
+	cp, err := pickCheckpoint(fs, dir, &notes)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	s := &Store{dir: dir}
+	s := &Store{dir: dir, fs: fs}
 	if cp != nil {
 		s.gen = cp.Generation
 		s.genSeq = cp.Seq
 	}
-	migrateLegacyWAL(dir, s.gen, s.genSeq, &notes)
-	sweepStale(dir, s.gen, s.genSeq, &notes)
+	migrateLegacyWAL(fs, dir, s.gen, s.genSeq, &notes)
+	sweepStale(fs, dir, s.gen, s.genSeq, &notes)
 	if cp == nil {
 		return s, nil, nil, notes, nil
 	}
 
-	active, sealed, deltas, segNotes, err := replaySegments(dir, s.genSeq)
+	active, sealed, deltas, segNotes, err := replaySegments(fs, dir, s.genSeq)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -253,19 +264,19 @@ func Open(dir string) (*Store, *Checkpoint, []*cve.Delta, []string, error) {
 // an ambiguous mix no upgrade path produces), it is left in place and
 // noted; sweepStale preserves the current generation's legacy log, so
 // acknowledged records are never silently discarded.
-func migrateLegacyWAL(dir string, gen, genSeq uint64, notes *[]string) {
+func migrateLegacyWAL(fs fsio.FS, dir string, gen, genSeq uint64, notes *[]string) {
 	if gen == 0 {
 		return
 	}
 	legacy := filepath.Join(dir, fmt.Sprintf("wal-%06d.log", gen))
-	if _, err := os.Stat(legacy); err != nil {
+	if _, err := fs.Stat(legacy); err != nil {
 		return
 	}
-	if len(segmentSeqs(dir)) > 0 {
+	if len(segmentSeqs(fs, dir)) > 0 {
 		*notes = append(*notes, fmt.Sprintf("ignoring legacy delta log wal-%06d.log (segments already present)", gen))
 		return
 	}
-	if err := os.Rename(legacy, filepath.Join(dir, segmentName(genSeq+1))); err != nil {
+	if err := fs.Rename(legacy, filepath.Join(dir, segmentName(genSeq+1))); err != nil {
 		*notes = append(*notes, fmt.Sprintf("legacy delta log not migrated: %v", err))
 		return
 	}
@@ -275,10 +286,10 @@ func migrateLegacyWAL(dir string, gen, genSeq uint64, notes *[]string) {
 // pickCheckpoint loads the generation CURRENT names, falling back to
 // the newest readable gen-* directory when CURRENT is missing, stale,
 // or names a corrupt checkpoint.
-func pickCheckpoint(dir string, notes *[]string) (*Checkpoint, error) {
+func pickCheckpoint(fs fsio.FS, dir string, notes *[]string) (*Checkpoint, error) {
 	var tried []string
-	if name, err := readCurrent(dir); err == nil && name != "" {
-		cp, err := loadCheckpoint(filepath.Join(dir, name))
+	if name, err := readCurrent(fs, dir); err == nil && name != "" {
+		cp, err := loadCheckpoint(fs, filepath.Join(dir, name))
 		if err == nil {
 			if cp.IndexNote != "" {
 				*notes = append(*notes, fmt.Sprintf("checkpoint %s: %s", name, cp.IndexNote))
@@ -288,11 +299,11 @@ func pickCheckpoint(dir string, notes *[]string) (*Checkpoint, error) {
 		*notes = append(*notes, fmt.Sprintf("checkpoint %s (CURRENT): %v", name, err))
 		tried = append(tried, name)
 	}
-	for _, name := range genDirs(dir) {
+	for _, name := range genDirs(fs, dir) {
 		if slices.Contains(tried, name) {
 			continue
 		}
-		cp, err := loadCheckpoint(filepath.Join(dir, name))
+		cp, err := loadCheckpoint(fs, filepath.Join(dir, name))
 		if err != nil {
 			*notes = append(*notes, fmt.Sprintf("checkpoint %s: %v", name, err))
 			continue
@@ -314,8 +325,8 @@ func pickCheckpoint(dir string, notes *[]string) (*Checkpoint, error) {
 // (walSeq and below — stragglers of a crash between the CURRENT swap
 // and retirement), and, on a cold recovery with no checkpoint at all,
 // every segment (deltas are unusable without their base generation).
-func sweepStale(dir string, gen, genSeq uint64, notes *[]string) {
-	entries, err := os.ReadDir(dir)
+func sweepStale(fs fsio.FS, dir string, gen, genSeq uint64, notes *[]string) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return
 	}
@@ -337,7 +348,7 @@ func sweepStale(dir string, gen, genSeq uint64, notes *[]string) {
 			}
 		}
 		if stale {
-			if err := os.RemoveAll(filepath.Join(dir, name)); err == nil {
+			if err := fs.RemoveAll(filepath.Join(dir, name)); err == nil {
 				*notes = append(*notes, "swept stale "+name)
 			}
 		}
@@ -345,8 +356,8 @@ func sweepStale(dir string, gen, genSeq uint64, notes *[]string) {
 }
 
 // genDirs lists complete-looking checkpoint directories, newest first.
-func genDirs(dir string) []string {
-	entries, err := os.ReadDir(dir)
+func genDirs(fs fsio.FS, dir string) []string {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil
 	}
@@ -485,7 +496,7 @@ func (s *Store) Seal() (uint64, error) {
 	sealedSeq := s.active.seq
 	records := s.active.records
 	end := s.active.off
-	next, _, _, err := openSegment(filepath.Join(s.dir, segmentName(sealedSeq+1)), sealedSeq+1)
+	next, _, _, err := openSegment(s.fs, filepath.Join(s.dir, segmentName(sealedSeq+1)), sealedSeq+1)
 	if err != nil {
 		return 0, err
 	}
@@ -497,7 +508,7 @@ func (s *Store) Seal() (uint64, error) {
 	s.active = next
 	// Persist the successor's directory entry so a crash cannot lose
 	// the (empty) segment the next append lands in.
-	if err := syncDir(s.dir); err != nil {
+	if err := syncDir(s.fs, s.dir); err != nil {
 		return 0, err
 	}
 	return sealedSeq, nil
@@ -564,16 +575,16 @@ func (s *Store) commitSealed(cp *Checkpoint, seq uint64) error {
 	s.mu.Unlock()
 	name := genName(gen)
 	tmp := filepath.Join(s.dir, name+".tmp")
-	if err := os.RemoveAll(tmp); err != nil {
+	if err := s.fs.RemoveAll(tmp); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(tmp, 0o755); err != nil {
+	if err := s.fs.MkdirAll(tmp, 0o755); err != nil {
 		return err
 	}
 	m := &manifest{Kind: manifestKind, Generation: gen, Seq: seq, Files: make(map[string]fileSum)}
 	var mMu sync.Mutex
 	write := func(file string, encode func(io.Writer) error) error {
-		f, err := os.Create(filepath.Join(tmp, file))
+		f, err := s.fs.Create(filepath.Join(tmp, file))
 		if err != nil {
 			return err
 		}
@@ -657,13 +668,13 @@ func (s *Store) commitSealed(cp *Checkpoint, seq uint64) error {
 	// CURRENT); clear the orphan or the rename below wedges every
 	// retry with ENOTEMPTY.
 	final := filepath.Join(s.dir, name)
-	if err := os.RemoveAll(final); err != nil {
+	if err := s.fs.RemoveAll(final); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := s.fs.Rename(tmp, final); err != nil {
 		return err
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := syncDir(s.fs, s.dir); err != nil {
 		return err
 	}
 	// An active segment must exist before the commit point, so a
@@ -672,7 +683,7 @@ func (s *Store) commitSealed(cp *Checkpoint, seq uint64) error {
 	// first segment here.
 	s.mu.Lock()
 	if s.active == nil {
-		next, _, _, err := openSegment(filepath.Join(s.dir, segmentName(seq+1)), seq+1)
+		next, _, _, err := openSegment(s.fs, filepath.Join(s.dir, segmentName(seq+1)), seq+1)
 		if err != nil {
 			s.mu.Unlock()
 			return err
@@ -685,7 +696,7 @@ func (s *Store) commitSealed(cp *Checkpoint, seq uint64) error {
 		}
 	}
 	s.mu.Unlock()
-	if err := writeCurrent(s.dir, name); err != nil {
+	if err := writeCurrent(s.fs, s.dir, name); err != nil {
 		return err
 	}
 	// Committed. Retire the previous generation and every segment the
@@ -706,12 +717,52 @@ func (s *Store) commitSealed(cp *Checkpoint, seq uint64) error {
 	s.sealed = live
 	s.mu.Unlock()
 	if oldGen != 0 {
-		os.RemoveAll(filepath.Join(s.dir, genName(oldGen)))
+		s.fs.RemoveAll(filepath.Join(s.dir, genName(oldGen)))
 	}
 	for _, q := range retire {
-		os.Remove(filepath.Join(s.dir, segmentName(q)))
+		s.fs.Remove(filepath.Join(s.dir, segmentName(q)))
 	}
 	return nil
+}
+
+// Probe attempts one small durable write cycle — create, write, fsync,
+// remove a scratch file — in the store directory, reporting whether
+// the disk currently accepts writes. The daemon's degraded-mode
+// recovery loop polls it after a persist failure; the .tmp suffix
+// means a probe stranded by a crash is swept on the next open. A
+// successful probe also heals a poisoned delta log (a rollback that
+// could not truncate at fault time is retried now that writes work),
+// so recovery never requires a restart: Probe returning nil means the
+// store accepts appends again.
+func (s *Store) Probe() error {
+	path := filepath.Join(s.dir, "probe.tmp")
+	f, err := s.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("probe\n")); err != nil {
+		f.Close()
+		s.fs.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		s.fs.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		s.fs.Remove(path)
+		return err
+	}
+	if err := s.fs.Remove(path); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	return s.active.heal()
 }
 
 // Close releases the active delta-log segment handle.
@@ -737,8 +788,8 @@ func (w *crcWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-func syncDir(dir string) error {
-	f, err := os.Open(dir)
+func syncDir(fs fsio.FS, dir string) error {
+	f, err := fs.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -746,8 +797,8 @@ func syncDir(dir string) error {
 	return f.Sync()
 }
 
-func readCurrent(dir string) (string, error) {
-	b, err := os.ReadFile(filepath.Join(dir, currentFile))
+func readCurrent(fs fsio.FS, dir string) (string, error) {
+	b, err := fs.ReadFile(filepath.Join(dir, currentFile))
 	if err != nil {
 		return "", err
 	}
@@ -756,27 +807,31 @@ func readCurrent(dir string) (string, error) {
 
 // writeCurrent atomically repoints CURRENT — the commit point of the
 // whole store.
-func writeCurrent(dir, name string) error {
+func writeCurrent(fs fsio.FS, dir, name string) error {
 	tmp := filepath.Join(dir, currentFile+".tmp")
-	if err := os.WriteFile(tmp, []byte(name+"\n"), 0o644); err != nil {
+	if err := fs.WriteFile(tmp, []byte(name+"\n"), 0o644); err != nil {
 		return err
 	}
-	f, err := os.Open(tmp)
+	f, err := fs.Open(tmp)
 	if err == nil {
 		f.Sync()
 		f.Close()
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, currentFile)); err != nil {
+	if err := fs.Rename(tmp, filepath.Join(dir, currentFile)); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fs, dir)
 }
 
 // loadCheckpoint reads and fully verifies one checkpoint directory:
 // the manifest must parse, every listed file must match its recorded
-// size and CRC-32C sum, and every document must decode.
-func loadCheckpoint(path string) (*Checkpoint, error) {
-	mb, err := os.ReadFile(filepath.Join(path, manifestFile))
+// size and CRC-32C sum, and every document must decode. Index segment
+// files are the one exception to strictness: a torn or corrupt
+// index-NN.seg is dropped (with a note) rather than failing the
+// checkpoint, because the index is derivable — the caller rebuilds it
+// from the cleaned snapshot — while the snapshots and maps are not.
+func loadCheckpoint(fs fsio.FS, path string) (*Checkpoint, error) {
+	mb, err := fs.ReadFile(filepath.Join(path, manifestFile))
 	if err != nil {
 		return nil, fmt.Errorf("manifest: %w", err)
 	}
@@ -788,13 +843,18 @@ func loadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("manifest: unexpected kind %q", m.Kind)
 	}
 	files := make(map[string][]byte, len(m.Files))
+	var segDamage []string
 	for name, want := range m.Files {
-		data, err := os.ReadFile(filepath.Join(path, name))
-		if err != nil {
-			return nil, err
+		data, err := fs.ReadFile(filepath.Join(path, name))
+		if err == nil && (int64(len(data)) != want.Size || crc32.Checksum(data, walTable) != want.CRC32C) {
+			err = fmt.Errorf("%s: checksum mismatch", name)
 		}
-		if int64(len(data)) != want.Size || crc32.Checksum(data, walTable) != want.CRC32C {
-			return nil, fmt.Errorf("%s: checksum mismatch", name)
+		if err != nil {
+			if isIndexSegName(name) {
+				segDamage = append(segDamage, name)
+				continue
+			}
+			return nil, err
 		}
 		files[name] = data
 	}
@@ -854,7 +914,20 @@ func loadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, err
 	}
 	cp.Index, cp.IndexNote = loadIndexSegments(files, cp.Cleaned)
+	if len(segDamage) > 0 {
+		sort.Strings(segDamage)
+		cp.Index = nil
+		cp.IndexNote = fmt.Sprintf("index segments damaged (%s); index will be rebuilt",
+			strings.Join(segDamage, ", "))
+	}
 	return cp, nil
+}
+
+// isIndexSegName reports whether a manifest-listed file is an index
+// segment — the derivable class of checkpoint file that may be dropped
+// on damage.
+func isIndexSegName(name string) bool {
+	return strings.HasPrefix(name, "index-") && strings.HasSuffix(name, ".seg")
 }
 
 // loadIndexSegments assembles the checkpoint's lazy index from its

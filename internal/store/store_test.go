@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"nvdclean/internal/cve"
 	"nvdclean/internal/cvss"
 	"nvdclean/internal/cwe"
+	"nvdclean/internal/fsio"
 	"nvdclean/internal/naming"
 	"nvdclean/internal/predict"
 )
@@ -310,6 +312,67 @@ func TestAppendRollback(t *testing.T) {
 	w.poisoned = true
 	if err := w.append(testDelta(3)); err == nil {
 		t.Fatal("poisoned log accepted an append")
+	}
+}
+
+// TestProbeHealsPoisonedLog: when a fault breaks both the append and
+// its rollback truncate, the log poisons itself — and a later
+// successful Probe must heal it in process (retry the truncate, drop
+// exactly the torn frame) so degraded-mode recovery never needs a
+// restart.
+func TestProbeHealsPoisonedLog(t *testing.T) {
+	dir := t.TempDir()
+	inj := fsio.NewInjector(fsio.OS{})
+	s, _, _, _, err := OpenFS(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Commit(testCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDelta(testDelta(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fault rejects writes AND truncates — a frozen file, not a
+	// full disk — so the rollback fails too and the log poisons.
+	inj.SetDecide(func(op fsio.Op) fsio.Decision {
+		switch op.Kind {
+		case fsio.OpWrite, fsio.OpTruncate:
+			return fsio.Decision{Err: syscall.EPERM}
+		}
+		return fsio.Decision{}
+	})
+	if err := s.AppendDelta(testDelta(2)); err == nil {
+		t.Fatal("append through a frozen file did not error")
+	}
+	if !s.active.poisoned {
+		t.Fatal("failed rollback did not poison the log")
+	}
+	if err := s.Probe(); err == nil {
+		t.Fatal("probe with the fault still live reported healthy")
+	}
+	if err := s.AppendDelta(testDelta(2)); err == nil {
+		t.Fatal("poisoned log accepted an append")
+	}
+
+	// Fault clears: one successful probe heals the log and appends
+	// land again, with the torn frame gone.
+	inj.SetDecide(nil)
+	if err := s.Probe(); err != nil {
+		t.Fatalf("probe after the fault cleared: %v", err)
+	}
+	if s.active.poisoned {
+		t.Fatal("successful probe left the log poisoned")
+	}
+	if err := s.AppendDelta(testDelta(2)); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	s.Close()
+	_, _, deltas, notes := mustOpen(t, dir)
+	if len(deltas) != 2 || len(notes) != 0 {
+		t.Fatalf("after heal: %d deltas (want 2), notes %v", len(deltas), notes)
 	}
 }
 

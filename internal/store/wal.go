@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"nvdclean/internal/cve"
+	"nvdclean/internal/fsio"
 )
 
 // The delta log is segmented: a store directory holds log-<seq> files,
@@ -67,8 +68,8 @@ func segmentSeq(name string) (uint64, bool) {
 }
 
 // segmentSeqs lists the segment files in dir, ascending by seq.
-func segmentSeqs(dir string) []uint64 {
-	entries, err := os.ReadDir(dir)
+func segmentSeqs(fs fsio.FS, dir string) []uint64 {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil
 	}
@@ -87,7 +88,7 @@ func segmentSeqs(dir string) []uint64 {
 
 // wal is one open delta-log segment positioned for appending.
 type wal struct {
-	f       *os.File
+	f       fsio.File
 	path    string
 	seq     uint64
 	records int
@@ -148,8 +149,8 @@ func scanFrames(data []byte) ([]*cve.Delta, int64, string) {
 // committed record, truncates any torn or corrupt tail, and leaves the
 // file positioned for appending. It returns the decoded deltas and a
 // human-readable note when a tail was dropped.
-func openSegment(path string, seq uint64) (*wal, []*cve.Delta, string, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+func openSegment(fs fsio.FS, path string, seq uint64) (*wal, []*cve.Delta, string, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, "", err
 	}
@@ -188,9 +189,9 @@ type sealedSeg struct {
 // when none exist or the chain was cut by corruption), the sealed
 // segments still awaiting retirement, every recovered delta in append
 // order, and recovery notes.
-func replaySegments(dir string, after uint64) (*wal, []sealedSeg, []*cve.Delta, []string, error) {
+func replaySegments(fs fsio.FS, dir string, after uint64) (*wal, []sealedSeg, []*cve.Delta, []string, error) {
 	var live []uint64
-	for _, seq := range segmentSeqs(dir) {
+	for _, seq := range segmentSeqs(fs, dir) {
 		if seq > after {
 			live = append(live, seq)
 		}
@@ -202,7 +203,7 @@ func replaySegments(dir string, after uint64) (*wal, []sealedSeg, []*cve.Delta, 
 		notes  []string
 	)
 	for i, seq := range live {
-		w, segDeltas, note, err := openSegment(filepath.Join(dir, segmentName(seq)), seq)
+		w, segDeltas, note, err := openSegment(fs, filepath.Join(dir, segmentName(seq)), seq)
 		if err != nil {
 			return nil, nil, nil, notes, err
 		}
@@ -224,7 +225,7 @@ func replaySegments(dir string, after uint64) (*wal, []sealedSeg, []*cve.Delta, 
 			// gap. Drop them — the same suffix a flat log would lose —
 			// and resume appends past the highest seq seen.
 			for _, later := range live[i+1:] {
-				if err := os.Remove(filepath.Join(dir, segmentName(later))); err == nil {
+				if err := fs.Remove(filepath.Join(dir, segmentName(later))); err == nil {
 					notes = append(notes, fmt.Sprintf("dropped unreachable segment %s", segmentName(later)))
 				}
 			}
@@ -237,14 +238,14 @@ func replaySegments(dir string, after uint64) (*wal, []sealedSeg, []*cve.Delta, 
 			next = live[n-1] + 1
 		}
 		var err error
-		active, _, _, err = openSegment(filepath.Join(dir, segmentName(next)), next)
+		active, _, _, err = openSegment(fs, filepath.Join(dir, segmentName(next)), next)
 		if err != nil {
 			return nil, nil, nil, notes, err
 		}
 		// Persist the fresh segment's directory entry: deltas appended
 		// to it are acknowledged on their own fsync, which does not
 		// cover the dirent of a file created here.
-		if err := syncDir(dir); err != nil {
+		if err := syncDir(fs, dir); err != nil {
 			active.close()
 			return nil, nil, nil, notes, err
 		}
@@ -301,6 +302,25 @@ func (w *wal) rollback() {
 	if _, err := w.f.Seek(w.off, io.SeekStart); err != nil {
 		w.poisoned = true
 	}
+}
+
+// heal retries a failed rollback: a log is poisoned only because the
+// truncate back to the last committed frame boundary failed at fault
+// time, so once the underlying fault clears the same truncate clears
+// the poison. Nothing acknowledged lives past w.off — appends were
+// refused the whole time — so the discard is exactly the torn frame.
+func (w *wal) heal() error {
+	if !w.poisoned {
+		return nil
+	}
+	if err := w.f.Truncate(w.off); err != nil {
+		return fmt.Errorf("store: delta log still poisoned: %w", err)
+	}
+	if _, err := w.f.Seek(w.off, io.SeekStart); err != nil {
+		return fmt.Errorf("store: delta log still poisoned: %w", err)
+	}
+	w.poisoned = false
+	return nil
 }
 
 func (w *wal) close() error {
